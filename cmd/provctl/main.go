@@ -1,0 +1,184 @@
+// Command provctl is an interactive inspector for a simulated
+// provenance-aware cloud deployment. It boots a deployment, replays a
+// chosen workload through a chosen protocol, and then serves a small
+// command language for exploring the result:
+//
+//	provctl [-workload blast|nightly|challenge] [-protocol P1|P2|P3] [-seed N]
+//
+//	ls [prefix]          list data objects
+//	stat <path>          object size + provenance link
+//	prov <path>          dump an object's provenance (all versions)
+//	ancestry <path>      walk and verify the full ancestor closure
+//	outputs <program>    Q3: files directly output by a program
+//	descendants <prog>   Q4: everything derived from a program
+//	verify <path>        coupling check (provenance-aware read)
+//	props                probe the Table-1 properties of this protocol
+//	bill                 show the accumulated cloud bill
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"passcloud/internal/bench"
+	"passcloud/internal/core"
+	"passcloud/internal/pasfs"
+	"passcloud/internal/pass"
+	"passcloud/internal/query"
+	"passcloud/internal/sim"
+	"passcloud/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "challenge", "workload to replay (blast, nightly, challenge)")
+	protoName := flag.String("protocol", "P3", "protocol (P1, P2, P3)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	env := sim.NewEnv(cfg)
+	dep := core.NewDeployment(env)
+
+	var proto core.Protocol
+	for _, f := range core.Factories() {
+		if strings.EqualFold(f.Name, *protoName) {
+			proto = f.New(dep, core.Options{})
+		}
+	}
+	if proto == nil || core.BackendOf(proto) == core.BackendNone {
+		fmt.Fprintf(os.Stderr, "provctl: unknown or provenance-free protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+	w, err := workload.ByName(*wl, sim.NewRand(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provctl:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("replaying %s through %s ... ", w.Name, proto.Name())
+	col := pass.New(env.Rand(), nil)
+	fs := pasfs.New(env, proto, col, pasfs.DefaultConfig())
+	if err := fs.Run(w.Trace); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+	if err := proto.Settle(); err != nil {
+		fmt.Fprintln(os.Stderr, "settle:", err)
+		os.Exit(1)
+	}
+	dep.Settle()
+	st := dep.Store.Stats()
+	fmt.Printf("done: %d objects, %.1f MB, %d provenance items\n",
+		st.Objects, float64(st.Bytes)/(1<<20), dep.DB.ItemCount())
+	fmt.Println(`type "help" for commands`)
+
+	backend := core.BackendOf(proto)
+	eng := query.New(dep, backend)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("provctl> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, arg := fields[0], ""
+		if len(fields) > 1 {
+			arg = fields[1]
+		}
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
+			fmt.Println("outputs <program> | descendants <program> | verify <path> | props | bill | quit")
+		case "ls":
+			keys, _, err := dep.Store.ListAll(core.DataPrefix + arg)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, k := range keys {
+				fmt.Println(" ", strings.TrimPrefix(k, core.DataPrefix))
+			}
+			fmt.Printf("%d objects\n", len(keys))
+		case "stat":
+			o, err := proto.Fetch(arg)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%s: %d bytes, provenance %s_%s\n", arg, o.Size,
+				o.Metadata[core.MetaUUID], o.Metadata[core.MetaVersion])
+		case "prov":
+			bundles, m, err := eng.ObjectProvenance(arg)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, b := range bundles {
+				fmt.Printf("  %s v%d %s %q\n", b.Ref.UUID, b.Ref.Version, b.Type, b.Name)
+				for _, r := range b.Records {
+					if r.IsXref() {
+						fmt.Printf("    %-12s -> %s\n", r.Attr, r.Xref)
+					} else if len(r.Value) < 60 {
+						fmt.Printf("    %-12s = %s\n", r.Attr, r.Value)
+					}
+				}
+			}
+			fmt.Printf("(%d bundles, %.3fs, %d ops)\n", len(bundles), m.Elapsed.Seconds(), m.Ops)
+		case "ancestry":
+			ref, ok := col.FileRef(arg)
+			if !ok {
+				fmt.Println("unknown file")
+				continue
+			}
+			walk, err := core.CheckCausalOrdering(dep, backend, ref)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("visited %d nodes, dangling %d\n", walk.Visited, len(walk.Dangling))
+		case "outputs":
+			refs, m, err := eng.DirectOutputsOf(arg, 8)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d direct outputs (%.3fs, %d ops)\n", len(refs), m.Elapsed.Seconds(), m.Ops)
+		case "descendants":
+			refs, m, err := eng.DescendantsOf(arg, 8)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d descendants (%.3fs, %d ops)\n", len(refs), m.Elapsed.Seconds(), m.Ops)
+		case "verify":
+			rep, err := core.VerifiedFetch(dep, backend, arg, 5)
+			if err != nil {
+				fmt.Println("not coupled:", err)
+				continue
+			}
+			fmt.Printf("coupled: %s is version %d of %s\n", arg, rep.Linked.Version, rep.Linked.UUID)
+		case "props":
+			rows, err := bench.Table1(*seed)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			bench.RenderTable1(os.Stdout, rows)
+		case "bill":
+			u := env.Meter().Usage()
+			fmt.Printf("$%.4f  (%s)\n", u.Cost(0), u)
+		default:
+			fmt.Println("unknown command; try help")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// faulty-data reproduces the "Detect and Avoid Faulty Data Propagation" use
+// case of §2.2: a miscalibrated instrument feeds an SDSS-style reduction
+// pipeline; once the bad calibration is discovered, a descendant query over
+// the cloud-stored provenance finds exactly how far the damage spread — and
+// which outputs are safe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"passcloud/internal/core"
+	"passcloud/internal/pasfs"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+	"passcloud/internal/trace"
+)
+
+func main() {
+	env := sim.NewEnv(sim.DefaultConfig())
+	dep := core.NewDeployment(env)
+	proto := core.NewP3(dep, core.Options{})
+	col := pass.New(env.Rand(), nil)
+	fs := pasfs.New(env, proto, col, pasfs.DefaultConfig())
+
+	b := trace.NewBuilder()
+
+	// Two calibration files: cal-A (later found faulty) and cal-B (good).
+	// Frames 0..3 are reduced with cal-A, frames 4..7 with cal-B.
+	for i := 0; i < 8; i++ {
+		cal := "mnt/calib/cal-A.par"
+		if i >= 4 {
+			cal = "mnt/calib/cal-B.par"
+		}
+		if i == 0 || i == 4 {
+			gen := b.Spawn(0, "/usr/bin/mkcalib", "mkcalib")
+			b.Write(gen, cal, 1<<20)
+			b.Close(gen, cal)
+			b.Exit(gen)
+		}
+		reduce := b.Spawn(0, "/usr/bin/reduce", "reduce", fmt.Sprintf("frame-%d", i))
+		b.Read(reduce, fmt.Sprintf("raw/frame-%d.fit", i), 16<<20)
+		b.Read(reduce, cal, 1<<20)
+		out := fmt.Sprintf("mnt/reduced/frame-%d.fits", i)
+		b.Write(reduce, out, 8<<20)
+		b.Close(reduce, out)
+		b.Exit(reduce)
+	}
+	// A mosaic combines reduced frames 2..5 — it straddles the two
+	// calibrations, so it is tainted through frames 2 and 3.
+	mosaic := b.Spawn(0, "/usr/bin/mosaic", "mosaic")
+	for i := 2; i <= 5; i++ {
+		b.Read(mosaic, fmt.Sprintf("mnt/reduced/frame-%d.fits", i), 8<<20)
+	}
+	b.Write(mosaic, "mnt/atlas/stripe82.fits", 20<<20)
+	b.Close(mosaic, "mnt/atlas/stripe82.fits")
+	b.Exit(mosaic)
+
+	if err := fs.Run(b.Trace()); err != nil {
+		log.Fatal(err)
+	}
+	if err := proto.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	dep.Settle()
+
+	// The lab discovers cal-A was produced by a miscalibrated instrument.
+	badRef, ok := col.FileRef("mnt/calib/cal-A.par")
+	if !ok {
+		log.Fatal("calibration file untracked")
+	}
+	fmt.Printf("faulty object: mnt/calib/cal-A.par (%s)\n\n", badRef)
+
+	// Walk descendants through the *cloud-recorded* provenance (not the
+	// local graph): repeated indexed lookups of items that reference the
+	// frontier, exactly like query Q4.
+	tainted, err := descendants(dep, badRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tainted derivations:")
+	taintedNames := make(map[string]bool)
+	for _, ref := range tainted {
+		bundles, err := core.ReadProvenance(dep, core.BackendSDB, ref.UUID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, bn := range bundles {
+			if bn.Ref == ref && bn.Type == prov.File && bn.Name != "" {
+				fmt.Printf("  %s (v%d)\n", bn.Name, ref.Version)
+				taintedNames[bn.Name] = true
+			}
+		}
+	}
+
+	fmt.Println("\nsafe outputs:")
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("mnt/reduced/frame-%d.fits", i)
+		if !taintedNames[name] {
+			fmt.Printf("  %s\n", name)
+		}
+	}
+	if taintedNames["mnt/atlas/stripe82.fits"] {
+		fmt.Println("\nthe stripe82 atlas is tainted through frames 2-3 and must be regenerated")
+	}
+}
+
+// descendants is a Q4-style transitive walk over the database backend.
+func descendants(dep *core.Deployment, root prov.Ref) ([]prov.Ref, error) {
+	seen := map[prov.Ref]bool{root: true}
+	frontier := []prov.Ref{root}
+	var out []prov.Ref
+	for len(frontier) > 0 {
+		var next []prov.Ref
+		for _, ref := range frontier {
+			expr := fmt.Sprintf("select itemName() from %s where %s = '%s'",
+				core.DomainName, prov.AttrInput, ref)
+			items, _, _, err := dep.DB.SelectAll(expr)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				r, err := prov.ParseRef(it.Name)
+				if err != nil {
+					return nil, err
+				}
+				if !seen[r] {
+					seen[r] = true
+					next = append(next, r)
+					out = append(out, r)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}

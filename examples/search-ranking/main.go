@@ -1,0 +1,80 @@
+// search-ranking reproduces the "Improving Text Search Results" use case of
+// §2.2 (after Shah et al.): a user archives project files on the cloud;
+// content search alone ranks by term matches, but provenance links between
+// files — like hyperlinks between web pages — let weight propagation
+// re-rank the results and surface related files the content pass missed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"passcloud/internal/pass"
+	"passcloud/internal/search"
+	"passcloud/internal/sim"
+	"passcloud/internal/trace"
+)
+
+func main() {
+	col := pass.New(sim.NewRand(7), nil)
+	b := trace.NewBuilder()
+
+	// A small research archive: a simulation produces raw traces; an
+	// analysis script turns them into the "latency" dataset; a plotting
+	// tool renders figures; a paper draft cites the figures. A second,
+	// unrelated project lives alongside.
+	sim1 := b.Spawn(0, "/usr/bin/simulate", "simulate", "--model", "queueing")
+	b.Read(sim1, "configs/queueing.yaml", 4<<10)
+	b.Write(sim1, "mnt/traces/run1.trace", 200<<20).Close(sim1, "mnt/traces/run1.trace")
+	b.Write(sim1, "mnt/traces/run2.trace", 200<<20).Close(sim1, "mnt/traces/run2.trace")
+
+	an := b.Spawn(0, "/usr/bin/analyze", "analyze", "--metric", "latency")
+	b.Read(an, "mnt/traces/run1.trace", 200<<20)
+	b.Read(an, "mnt/traces/run2.trace", 200<<20)
+	b.Write(an, "mnt/data/latency-summary.csv", 1<<20).Close(an, "mnt/data/latency-summary.csv")
+
+	plot := b.Spawn(0, "/usr/bin/plot", "plot")
+	b.Read(plot, "mnt/data/latency-summary.csv", 1<<20)
+	b.Write(plot, "mnt/figs/latency-cdf.pdf", 300<<10).Close(plot, "mnt/figs/latency-cdf.pdf")
+
+	tex := b.Spawn(0, "/usr/bin/pdflatex", "pdflatex", "paper.tex")
+	b.Read(tex, "mnt/figs/latency-cdf.pdf", 300<<10)
+	b.Read(tex, "paper.tex", 80<<10)
+	b.Write(tex, "mnt/paper/draft.pdf", 2<<20).Close(tex, "mnt/paper/draft.pdf")
+
+	// Unrelated project in the same archive.
+	other := b.Spawn(0, "/usr/bin/backup", "backup")
+	b.Write(other, "mnt/misc/photos-index.db", 5<<20).Close(other, "mnt/misc/photos-index.db")
+
+	for _, ev := range b.Trace().Events {
+		if err := col.Apply(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := col.Graph()
+
+	// Phase 1: pure content search for "latency" — finds only files whose
+	// content (here: name) matches.
+	seeds := search.ContentSearch(g, "latency")
+	fmt.Println("content search for \"latency\":")
+	for _, s := range seeds {
+		fmt.Printf("  %s\n", g.Node(s).Name)
+	}
+
+	// Phase 2: P rounds of weight propagation over the provenance DAG.
+	results := search.Rerank(g, seeds, search.DefaultOptions())
+	seedSet := make(map[string]bool)
+	for _, s := range seeds {
+		seedSet[s.String()] = true
+	}
+	fmt.Println("\nafter provenance re-ranking:")
+	for i, r := range results {
+		marker := ""
+		if !seedSet[r.Ref.String()] {
+			marker = "   <- surfaced by provenance, not content"
+		}
+		fmt.Printf("  %2d. %-32s w=%.3f%s\n", i+1, r.Name, r.Weight, marker)
+	}
+	fmt.Println("\nnote: traces, figures and the paper draft join the results through")
+	fmt.Println("dependency links; the unrelated photo index never appears.")
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"passcloud/internal/core"
+	"passcloud/internal/sim"
+	"passcloud/internal/workload"
+)
+
+// Figure 4 of the paper: elapsed times of the three workloads under the
+// four configurations, from EC2 instances (running the kernels under UML)
+// and from a local machine, in the September-2009 and December-2009
+// service eras. Table 4 (cost) falls out of the same runs.
+
+// Fig4Cell is one bar of Figure 4.
+type Fig4Cell struct {
+	Workload    string
+	Protocol    string
+	Site        sim.Site
+	Era         sim.Era
+	ElapsedSec  float64
+	OverheadPct float64 // vs the S3fs bar of the same workload/site/era
+	CostUSD     float64
+}
+
+// Fig4 runs one era's twelve result sets (3 workloads × 2 sites × 4
+// configurations). Workload order follows the figure: Blast, Nightly,
+// Challenge; EC2 half first, then local.
+func Fig4(era sim.Era, seed int64, scale float64) ([]Fig4Cell, error) {
+	var cells []Fig4Cell
+	for _, site := range []sim.Site{sim.SiteEC2, sim.SiteLocal} {
+		for _, w := range workload.All(sim.NewRand(seed)) {
+			var base Result
+			for _, f := range core.Factories() {
+				s := Setup{
+					Protocol: f.Name,
+					Site:     site,
+					Era:      era,
+					// The paper runs the EC2 benchmarks inside UML (no
+					// custom kernels on EC2); the local machine runs the
+					// kernels natively.
+					UML:   site == sim.SiteEC2,
+					Seed:  seed,
+					Scale: scale,
+				}
+				r, err := RunWorkload(w, s)
+				if err != nil {
+					return nil, err
+				}
+				if f.Name == "S3fs" {
+					base = r
+				}
+				cells = append(cells, Fig4Cell{
+					Workload:    w.Name,
+					Protocol:    f.Name,
+					Site:        site,
+					Era:         era,
+					ElapsedSec:  seconds(r.Elapsed),
+					OverheadPct: Overhead(r, base),
+					CostUSD:     r.CostUSD,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Table4Row is one column group of Table 4: the per-workload dollar cost of
+// each configuration (including the commit daemon for P3).
+type Table4Row struct {
+	Protocol  string
+	Nightly   float64
+	Blast     float64
+	Challenge float64
+}
+
+// Table4 computes workload costs on EC2 (the paper's benchmark platform)
+// in the September-2009 era.
+func Table4(seed int64, scale float64) ([]Table4Row, error) {
+	costs := make(map[string]map[string]float64) // protocol -> workload -> $
+	for _, w := range workload.All(sim.NewRand(seed)) {
+		for _, f := range core.Factories() {
+			s := Setup{Protocol: f.Name, Site: sim.SiteEC2, Era: sim.EraSept09, UML: true, Seed: seed, Scale: scale}
+			r, err := RunWorkload(w, s)
+			if err != nil {
+				return nil, err
+			}
+			if costs[f.Name] == nil {
+				costs[f.Name] = make(map[string]float64)
+			}
+			costs[f.Name][w.Name] = r.CostUSD
+		}
+	}
+	var rows []Table4Row
+	for _, f := range core.Factories() {
+		rows = append(rows, Table4Row{
+			Protocol:  f.Name,
+			Nightly:   costs[f.Name]["nightly"],
+			Blast:     costs[f.Name]["blast"],
+			Challenge: costs[f.Name]["challenge"],
+		})
+	}
+	return rows, nil
+}

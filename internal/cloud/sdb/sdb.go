@@ -1,0 +1,345 @@
+// Package sdb implements the simulated cloud database service (Amazon
+// SimpleDB as of its 2009/2010 public beta): a semi-structured store of
+// items, each a set of multi-valued <attribute,value> pairs, with every
+// attribute indexed and queryable through a SELECT interface.
+//
+// The limits that shaped the paper's protocols are enforced: attribute names
+// and values are capped at 1 KB (larger provenance values spill to S3
+// objects), BatchPutAttributes accepts at most 25 items per call, and SELECT
+// responses are paginated. Reads are eventually consistent unless the
+// environment runs in strict mode.
+package sdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+// Limits mirrored from the real service.
+const (
+	MaxValueLen   = 1024 // bytes per attribute name or value
+	MaxBatchItems = 25   // items per BatchPutAttributes call
+	MaxSelectPage = 2500 // items per SELECT page
+	maxPageBytes  = 1 << 20
+)
+
+// ErrValueTooLong is returned when an attribute name or value exceeds 1 KB.
+var ErrValueTooLong = errors.New("sdb: attribute name or value exceeds 1KB")
+
+// ErrBatchTooLarge is returned when a batch has more than 25 items.
+var ErrBatchTooLarge = errors.New("sdb: more than 25 items in batch")
+
+// ErrNoSuchItem is returned by GetAttributes on a missing item.
+var ErrNoSuchItem = errors.New("sdb: no such item")
+
+// Attr is one attribute-value pair. Items may carry several attributes with
+// the same name (multi-valued attributes).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Item is a named row with its attributes.
+type Item struct {
+	Name  string
+	Attrs []Attr
+}
+
+// size estimates the wire size of an item for latency/paging purposes.
+func (it Item) size() int {
+	n := len(it.Name)
+	for _, a := range it.Attrs {
+		n += len(a.Name) + len(a.Value) + 8
+	}
+	return n
+}
+
+// PutRequest describes one item write. Replace true overwrites existing
+// values of the written attribute names; false appends (SimpleDB default).
+type PutRequest struct {
+	Item    string
+	Attrs   []Attr
+	Replace bool
+}
+
+// itemVersion is one committed state of an item.
+type itemVersion struct {
+	attrs     []Attr
+	deleted   bool
+	committed time.Duration
+	visibleAt time.Duration
+}
+
+// Domain is one SimpleDB domain bound to a simulated environment.
+type Domain struct {
+	env  *sim.Env
+	name string
+
+	mu     sync.Mutex
+	items  map[string][]*itemVersion
+	sorted []string // cached sorted item names; nil when stale
+}
+
+// New creates an empty domain.
+func New(env *sim.Env, name string) *Domain {
+	return &Domain{env: env, name: name, items: make(map[string][]*itemVersion)}
+}
+
+// sortedNamesLocked returns (building if needed) the sorted name index.
+func (d *Domain) sortedNamesLocked() []string {
+	if d.sorted == nil {
+		d.sorted = make([]string, 0, len(d.items))
+		for name := range d.items {
+			d.sorted = append(d.sorted, name)
+		}
+		sort.Strings(d.sorted)
+	}
+	return d.sorted
+}
+
+// Name returns the domain name used in SELECT statements.
+func (d *Domain) Name() string { return d.name }
+
+// Env returns the environment the domain charges against.
+func (d *Domain) Env() *sim.Env { return d.env }
+
+// validate checks the 1 KB name/value limits.
+func validate(attrs []Attr) error {
+	for _, a := range attrs {
+		if len(a.Name) > MaxValueLen || len(a.Value) > MaxValueLen {
+			return ErrValueTooLong
+		}
+	}
+	return nil
+}
+
+// PutAttributes writes one item.
+func (d *Domain) PutAttributes(req PutRequest) error {
+	if err := validate(req.Attrs); err != nil {
+		return err
+	}
+	payload := Item{Name: req.Item, Attrs: req.Attrs}.size()
+	d.env.Exec(sim.OpSDBPut, payload)
+	d.env.Meter().CountOp("sdb.PutAttributes", int64(payload))
+	d.mu.Lock()
+	d.applyLocked(req)
+	d.mu.Unlock()
+	return nil
+}
+
+// BatchPutAttributes writes up to 25 items in one call. The call is charged
+// the batch base latency plus a per-item increment (SimpleDB indexes every
+// attribute on write, which is why batches are expensive; see DESIGN.md §6).
+func (d *Domain) BatchPutAttributes(reqs []PutRequest) error {
+	if len(reqs) > MaxBatchItems {
+		return ErrBatchTooLarge
+	}
+	payload := 0
+	for _, r := range reqs {
+		if err := validate(r.Attrs); err != nil {
+			return err
+		}
+		payload += Item{Name: r.Item, Attrs: r.Attrs}.size()
+	}
+	d.env.Exec(sim.OpSDBBatchPut, payload)
+	if extra := d.env.Model().BatchItemLatency(len(reqs)); extra > 0 {
+		d.env.Clock().Sleep(extra)
+	}
+	d.env.Meter().CountOp("sdb.BatchPutAttributes", int64(payload))
+	d.mu.Lock()
+	for _, r := range reqs {
+		d.applyLocked(r)
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// applyLocked commits one put as a new item version.
+func (d *Domain) applyLocked(req PutRequest) {
+	now := d.env.Now()
+	hist := d.items[req.Item]
+	if len(hist) == 0 {
+		d.sorted = nil // new name invalidates the sorted index
+	}
+	var base []Attr
+	if n := len(hist); n > 0 && !hist[n-1].deleted {
+		base = hist[n-1].attrs
+	}
+	var next []Attr
+	if req.Replace {
+		replaced := make(map[string]bool, len(req.Attrs))
+		for _, a := range req.Attrs {
+			replaced[a.Name] = true
+		}
+		for _, a := range base {
+			if !replaced[a.Name] {
+				next = append(next, a)
+			}
+		}
+	} else {
+		next = append(next, base...)
+	}
+	next = append(next, req.Attrs...)
+	v := &itemVersion{attrs: next, committed: now, visibleAt: now + d.env.StalenessWindow()}
+	if n := len(hist); n > 1 {
+		hist = hist[n-1:]
+	}
+	d.items[req.Item] = append(hist, v)
+}
+
+// observe picks the item version a read sees at virtual time now,
+// implementing eventual consistency exactly as the object store does.
+func (d *Domain) observe(name string, now time.Duration) *itemVersion {
+	hist := d.items[name]
+	if len(hist) == 0 {
+		return nil
+	}
+	idx := len(hist) - 1
+	for idx > 0 && hist[idx].visibleAt > now && d.env.Rand().Bool(0.5) {
+		idx--
+	}
+	v := hist[idx]
+	if idx == 0 && v.visibleAt > now && d.env.Rand().Bool(0.5) {
+		return nil
+	}
+	return v
+}
+
+// GetAttributes returns the attributes of one item.
+func (d *Domain) GetAttributes(item string) (Item, error) {
+	d.mu.Lock()
+	v := d.observe(item, d.env.Now())
+	var it Item
+	ok := v != nil && !v.deleted
+	if ok {
+		it = Item{Name: item, Attrs: append([]Attr(nil), v.attrs...)}
+	}
+	d.mu.Unlock()
+	payload := 0
+	if ok {
+		payload = it.size()
+	}
+	d.env.Exec(sim.OpSDBGet, payload)
+	d.env.Meter().CountOp("sdb.GetAttributes", int64(payload))
+	if !ok {
+		return Item{}, fmt.Errorf("%w: %s", ErrNoSuchItem, item)
+	}
+	return it, nil
+}
+
+// DeleteAttributes removes an entire item (the only form the protocols use).
+func (d *Domain) DeleteAttributes(item string) error {
+	d.env.Exec(sim.OpSDBDelete, 0)
+	d.env.Meter().CountOp("sdb.DeleteAttributes", 0)
+	now := d.env.Now()
+	d.mu.Lock()
+	if len(d.items[item]) > 0 {
+		hist := d.items[item]
+		if n := len(hist); n > 1 {
+			hist = hist[n-1:]
+		}
+		d.items[item] = append(hist, &itemVersion{deleted: true, committed: now, visibleAt: now + d.env.StalenessWindow()})
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// SelectPage is one page of SELECT results.
+type SelectPage struct {
+	Items     []Item
+	NextToken string
+	Bytes     int // response payload size
+}
+
+// Select runs a SELECT expression (see package documentation for the
+// supported grammar) returning one page; pass the previous page's NextToken
+// to continue. Each page is one billed request.
+func (d *Domain) Select(expr, nextToken string) (SelectPage, error) {
+	q, err := ParseSelect(expr)
+	if err != nil {
+		return SelectPage{}, err
+	}
+	if q.Domain != d.name {
+		return SelectPage{}, fmt.Errorf("sdb: unknown domain %q in select", q.Domain)
+	}
+	now := d.env.Now()
+
+	d.mu.Lock()
+	names := d.sortedNamesLocked()
+	// Skip directly past the continuation token.
+	start := sort.SearchStrings(names, nextToken)
+	if start < len(names) && names[start] == nextToken {
+		start++
+	}
+	var matched []Item
+	for _, name := range names[start:] {
+		v := d.observe(name, now)
+		if v == nil || v.deleted {
+			continue
+		}
+		it := Item{Name: name, Attrs: v.attrs}
+		if q.Where == nil || q.Where.eval(it) {
+			matched = append(matched, Item{Name: name, Attrs: append([]Attr(nil), v.attrs...)})
+		}
+	}
+	d.mu.Unlock()
+
+	// LIMIT caps results per response (SimpleDB semantics); a NextToken
+	// continues the scan on the next request either way.
+	limit := q.Limit
+	if limit <= 0 || limit > MaxSelectPage {
+		limit = MaxSelectPage
+	}
+	page := SelectPage{}
+	bytes := 0
+	for i, it := range matched {
+		out := q.project(it)
+		sz := out.size()
+		if len(page.Items) >= limit || (i > 0 && bytes+sz > maxPageBytes) {
+			page.NextToken = page.Items[len(page.Items)-1].Name
+			break
+		}
+		page.Items = append(page.Items, out)
+		bytes += sz
+	}
+	page.Bytes = bytes
+	d.env.Exec(sim.OpSDBSelect, bytes)
+	d.env.Meter().CountOp("sdb.Select", int64(bytes))
+	return page, nil
+}
+
+// SelectAll drains every page of a SELECT and reports the request count.
+func (d *Domain) SelectAll(expr string) (items []Item, requests int, bytes int, err error) {
+	token := ""
+	for {
+		page, err := d.Select(expr, token)
+		if err != nil {
+			return nil, requests, bytes, err
+		}
+		requests++
+		bytes += page.Bytes
+		items = append(items, page.Items...)
+		if page.NextToken == "" {
+			return items, requests, bytes, nil
+		}
+		token = page.NextToken
+	}
+}
+
+// ItemCount returns the number of live items (latest committed state).
+func (d *Domain) ItemCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, hist := range d.items {
+		if !hist[len(hist)-1].deleted {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,361 @@
+package sdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed SELECT expression. The supported grammar covers what
+// the paper's query workloads need, a practical subset of SimpleDB's:
+//
+//	SELECT (* | itemName() | attr[, attr...]) FROM domain
+//	       [WHERE predicate] [LIMIT n]
+//
+//	predicate := clause { (AND|OR) clause }
+//	clause    := '(' predicate ')'
+//	           | name (=|!=|>|>=|<|<=) 'value'
+//	           | name LIKE 'pattern%'        -- prefix match
+//	           | name IS NULL | name IS NOT NULL
+//
+// A comparison is true if any value of the (multi-valued) attribute
+// satisfies it, matching SimpleDB semantics. itemName() may be compared too.
+type Query struct {
+	Domain   string
+	Fields   []string // nil means *
+	ItemOnly bool     // SELECT itemName()
+	Where    *node
+	Limit    int
+}
+
+// project applies the query's field selection to a matched item.
+func (q Query) project(it Item) Item {
+	if q.ItemOnly {
+		return Item{Name: it.Name}
+	}
+	if q.Fields == nil {
+		return it
+	}
+	keep := make(map[string]bool, len(q.Fields))
+	for _, f := range q.Fields {
+		keep[f] = true
+	}
+	out := Item{Name: it.Name}
+	for _, a := range it.Attrs {
+		if keep[a.Name] {
+			out.Attrs = append(out.Attrs, a)
+		}
+	}
+	return out
+}
+
+// node is a predicate tree node: either a boolean combinator or a leaf
+// comparison.
+type node struct {
+	op          string // "and", "or", or a comparison operator
+	left, right *node
+	attr        string
+	value       string
+	isNull      bool
+	notNull     bool
+}
+
+// eval evaluates the predicate against one item.
+func (n *node) eval(it Item) bool {
+	switch n.op {
+	case "and":
+		return n.left.eval(it) && n.right.eval(it)
+	case "or":
+		return n.left.eval(it) || n.right.eval(it)
+	}
+	if n.isNull || n.notNull {
+		present := false
+		for _, a := range it.Attrs {
+			if a.Name == n.attr {
+				present = true
+				break
+			}
+		}
+		if n.isNull {
+			return !present
+		}
+		return present
+	}
+	values := itemValues(it, n.attr)
+	for _, v := range values {
+		if compare(v, n.op, n.value) {
+			return true
+		}
+	}
+	return false
+}
+
+// itemValues returns every value of attr on it; itemName() yields the name.
+func itemValues(it Item, attr string) []string {
+	if attr == "itemName()" {
+		return []string{it.Name}
+	}
+	var vs []string
+	for _, a := range it.Attrs {
+		if a.Name == attr {
+			vs = append(vs, a.Value)
+		}
+	}
+	return vs
+}
+
+// compare applies one comparison operator (string ordering, as SimpleDB).
+func compare(have, op, want string) bool {
+	switch op {
+	case "=":
+		return have == want
+	case "!=":
+		return have != want
+	case ">":
+		return have > want
+	case ">=":
+		return have >= want
+	case "<":
+		return have < want
+	case "<=":
+		return have <= want
+	case "like":
+		if strings.HasSuffix(want, "%") {
+			return strings.HasPrefix(have, strings.TrimSuffix(want, "%"))
+		}
+		if strings.HasPrefix(want, "%") {
+			return strings.HasSuffix(have, strings.TrimPrefix(want, "%"))
+		}
+		return have == want
+	}
+	return false
+}
+
+// ParseSelect parses a SELECT expression into a Query.
+func ParseSelect(s string) (Query, error) {
+	p := &parser{toks: lex(s)}
+	q, err := p.parse()
+	if err != nil {
+		return Query{}, fmt.Errorf("sdb: parse %q: %w", s, err)
+	}
+	return q, nil
+}
+
+// lex splits the expression into tokens: words, quoted strings, operators
+// and punctuation.
+func lex(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				b.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, "'"+b.String())
+			i = j + 1
+		case c == '(' || c == ')' || c == ',':
+			// itemName() is one token.
+			if c == '(' && len(toks) > 0 && strings.EqualFold(toks[len(toks)-1], "itemName") &&
+				i+1 < len(s) && s[i+1] == ')' {
+				toks[len(toks)-1] = "itemName()"
+				i += 2
+				continue
+			}
+			toks = append(toks, string(c))
+			i++
+		case c == '=':
+			toks = append(toks, "=")
+			i++
+		case c == '!' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, "!=")
+			i += 2
+		case c == '>' || c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, string(c)+"=")
+				i += 2
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n'(),=!<>", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+// parser is a tiny recursive-descent parser over the token stream.
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expectWord(w string) error {
+	if !strings.EqualFold(p.peek(), w) {
+		return fmt.Errorf("expected %s, got %q", w, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parse() (Query, error) {
+	var q Query
+	if err := p.expectWord("select"); err != nil {
+		return q, err
+	}
+	switch {
+	case p.peek() == "*":
+		p.pos++
+	case p.peek() == "itemName()":
+		q.ItemOnly = true
+		p.pos++
+	default:
+		for {
+			f := p.next()
+			if f == "" || f == "," {
+				return q, fmt.Errorf("bad field list")
+			}
+			q.Fields = append(q.Fields, f)
+			if p.peek() != "," {
+				break
+			}
+			p.pos++
+		}
+	}
+	if err := p.expectWord("from"); err != nil {
+		return q, err
+	}
+	q.Domain = strings.Trim(p.next(), "`")
+	if q.Domain == "" {
+		return q, fmt.Errorf("missing domain")
+	}
+	if strings.EqualFold(p.peek(), "where") {
+		p.pos++
+		n, err := p.parsePredicate()
+		if err != nil {
+			return q, err
+		}
+		q.Where = n
+	}
+	if strings.EqualFold(p.peek(), "limit") {
+		p.pos++
+		if _, err := fmt.Sscanf(p.next(), "%d", &q.Limit); err != nil {
+			return q, fmt.Errorf("bad limit")
+		}
+	}
+	if p.pos != len(p.toks) {
+		return q, fmt.Errorf("trailing tokens at %q", p.peek())
+	}
+	return q, nil
+}
+
+// parsePredicate handles clause {(AND|OR) clause} with AND binding tighter.
+func (p *parser) parsePredicate() (*node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &node{op: "or", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*node, error) {
+	left, err := p.parseClause()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.pos++
+		right, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		left = &node{op: "and", left: left, right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseClause() (*node, error) {
+	if p.peek() == "(" {
+		p.pos++
+		n, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing )")
+		}
+		return n, nil
+	}
+	attr := p.next()
+	if attr == "" {
+		return nil, fmt.Errorf("missing attribute")
+	}
+	attr = strings.Trim(attr, "`")
+	op := p.next()
+	if strings.EqualFold(op, "is") {
+		if strings.EqualFold(p.peek(), "not") {
+			p.pos++
+			if err := p.expectWord("null"); err != nil {
+				return nil, err
+			}
+			return &node{attr: attr, notNull: true}, nil
+		}
+		if err := p.expectWord("null"); err != nil {
+			return nil, err
+		}
+		return &node{attr: attr, isNull: true}, nil
+	}
+	if strings.EqualFold(op, "like") {
+		op = "like"
+	}
+	switch op {
+	case "=", "!=", ">", ">=", "<", "<=", "like":
+	default:
+		return nil, fmt.Errorf("bad operator %q", op)
+	}
+	val := p.next()
+	if !strings.HasPrefix(val, "'") {
+		return nil, fmt.Errorf("comparison value must be quoted, got %q", val)
+	}
+	return &node{op: op, attr: attr, value: strings.TrimPrefix(val, "'")}, nil
+}

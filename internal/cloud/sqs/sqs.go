@@ -1,0 +1,208 @@
+// Package sqs implements the simulated cloud messaging service (Amazon SQS
+// as of 2009/2010): named queues of opaque messages with SendMessage,
+// ReceiveMessage and DeleteMessage operations.
+//
+// Semantics reproduced because the paper's protocol P3 depends on them:
+//
+//   - messages are capped at 8 KB, which forces P3 to chunk provenance and
+//     to spill data to temporary store objects;
+//   - delivery is at-least-once: a received message reappears after its
+//     visibility timeout unless deleted, and the environment can inject
+//     duplicate deliveries;
+//   - ordering is best effort, not guaranteed — P3 must reassemble
+//     transactions from sequence numbers;
+//   - messages older than the retention period (four days) are deleted
+//     automatically, which is what garbage-collects abandoned transactions.
+package sqs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+// MaxMessageSize is the 8 KB SQS message size limit.
+const MaxMessageSize = 8 << 10
+
+// DefaultRetention is how long undeleted messages survive (four days).
+const DefaultRetention = 4 * 24 * time.Hour
+
+// DefaultVisibility is the default visibility timeout after a receive.
+const DefaultVisibility = 30 * time.Second
+
+// ErrMessageTooLarge is returned by SendMessage for bodies over 8 KB.
+var ErrMessageTooLarge = errors.New("sqs: message exceeds 8KB")
+
+// Message is one received message.
+type Message struct {
+	ID            string
+	ReceiptHandle string
+	Body          []byte
+	SentAt        time.Duration
+}
+
+// message is the queue's internal record.
+type message struct {
+	id        string
+	body      []byte
+	sentAt    time.Duration
+	visibleAt time.Duration // consistency + visibility-timeout gate
+	deleted   bool
+	receipts  int
+}
+
+// Queue is one SQS queue bound to a simulated environment.
+type Queue struct {
+	env        *sim.Env
+	name       string
+	visibility time.Duration
+	retention  time.Duration
+
+	mu   sync.Mutex
+	msgs []*message
+	seq  int
+}
+
+// New creates an empty queue with default visibility and retention.
+func New(env *sim.Env, name string) *Queue {
+	return &Queue{env: env, name: name, visibility: DefaultVisibility, retention: DefaultRetention}
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Env returns the environment the queue charges against.
+func (q *Queue) Env() *sim.Env { return q.env }
+
+// SetVisibility overrides the visibility timeout (tests and ablations).
+func (q *Queue) SetVisibility(d time.Duration) { q.visibility = d }
+
+// SetRetention overrides the message retention period.
+func (q *Queue) SetRetention(d time.Duration) { q.retention = d }
+
+// SendMessage enqueues body and returns the message id.
+func (q *Queue) SendMessage(body []byte) (string, error) {
+	if len(body) > MaxMessageSize {
+		return "", fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, len(body))
+	}
+	q.env.Exec(sim.OpSQSSend, len(body))
+	q.env.Meter().CountOp("sqs.SendMessage", int64(len(body)))
+	now := q.env.Now()
+	q.mu.Lock()
+	q.seq++
+	id := fmt.Sprintf("%s-%08d", q.name, q.seq)
+	m := &message{
+		id:        id,
+		body:      append([]byte(nil), body...),
+		sentAt:    now,
+		visibleAt: now + q.env.StalenessWindow(),
+	}
+	q.msgs = append(q.msgs, m)
+	if q.env.Config().DupProb > 0 && q.env.Rand().Bool(q.env.Config().DupProb) {
+		// At-least-once delivery: the service occasionally stores the
+		// message twice (same id; distinct receipt lineage).
+		dup := *m
+		q.msgs = append(q.msgs, &dup)
+	}
+	q.mu.Unlock()
+	return id, nil
+}
+
+// ReceiveMessage returns up to max (at most 10) visible messages, making
+// them invisible for the visibility timeout. An empty slice means the queue
+// had nothing visible — the caller should poll again.
+func (q *Queue) ReceiveMessage(max int) []Message {
+	if max <= 0 {
+		max = 1
+	}
+	if max > 10 {
+		max = 10
+	}
+	now := q.env.Now()
+	q.mu.Lock()
+	q.expireLocked(now)
+	var out []Message
+	// Best-effort ordering: start the scan at a pseudo-random offset so
+	// consumers cannot rely on FIFO delivery.
+	n := len(q.msgs)
+	start := 0
+	if n > 1 {
+		start = q.env.Rand().Intn(n)
+	}
+	bytes := 0
+	for i := 0; i < n && len(out) < max; i++ {
+		m := q.msgs[(start+i)%n]
+		if m.deleted || m.visibleAt > now {
+			continue
+		}
+		m.visibleAt = now + q.visibility
+		m.receipts++
+		out = append(out, Message{
+			ID:            m.id,
+			ReceiptHandle: fmt.Sprintf("%s#%d", m.id, m.receipts),
+			Body:          append([]byte(nil), m.body...),
+			SentAt:        m.sentAt,
+		})
+		bytes += len(m.body)
+	}
+	q.mu.Unlock()
+	q.env.Exec(sim.OpSQSReceive, bytes)
+	q.env.Meter().CountOp("sqs.ReceiveMessage", int64(bytes))
+	return out
+}
+
+// DeleteMessage removes the message named by a receipt handle. Deleting an
+// already-deleted message succeeds, as on SQS.
+func (q *Queue) DeleteMessage(receipt string) error {
+	q.env.Exec(sim.OpSQSDelete, 0)
+	q.env.Meter().CountOp("sqs.DeleteMessage", 0)
+	id := receipt
+	if i := indexByte(receipt, '#'); i >= 0 {
+		id = receipt[:i]
+	}
+	q.mu.Lock()
+	for _, m := range q.msgs {
+		if m.id == id {
+			m.deleted = true
+		}
+	}
+	q.mu.Unlock()
+	return nil
+}
+
+// expireLocked drops messages past the retention period; SQS performs this
+// automatically, and P3 relies on it to garbage collect the WAL.
+func (q *Queue) expireLocked(now time.Duration) {
+	kept := q.msgs[:0]
+	for _, m := range q.msgs {
+		if m.deleted || now-m.sentAt > q.retention {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	// Zero the tail so dropped messages can be collected.
+	for i := len(kept); i < len(q.msgs); i++ {
+		q.msgs[i] = nil
+	}
+	q.msgs = kept
+}
+
+// Len reports the number of undeleted, unexpired messages (visible or not).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(q.env.Now())
+	return len(q.msgs)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

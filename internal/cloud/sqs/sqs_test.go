@@ -1,0 +1,218 @@
+package sqs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+func strictQueue(t *testing.T) *Queue {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Consistency = sim.Strict
+	return New(sim.NewEnv(cfg), "wal")
+}
+
+func TestSendReceiveDelete(t *testing.T) {
+	q := strictQueue(t)
+	id, err := q.SendMessage([]byte("record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("empty message id")
+	}
+	msgs := q.ReceiveMessage(10)
+	if len(msgs) != 1 || !bytes.Equal(msgs[0].Body, []byte("record")) {
+		t.Fatalf("received %v", msgs)
+	}
+	if err := q.DeleteMessage(msgs[0].ReceiptHandle); err != nil {
+		t.Fatal(err)
+	}
+	q.Env().Clock().Advance(time.Minute)
+	if msgs := q.ReceiveMessage(10); len(msgs) != 0 {
+		t.Fatalf("deleted message redelivered: %v", msgs)
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	q := strictQueue(t)
+	if _, err := q.SendMessage(make([]byte, MaxMessageSize+1)); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := q.SendMessage(make([]byte, MaxMessageSize)); err != nil {
+		t.Fatalf("exactly 8KB rejected: %v", err)
+	}
+}
+
+func TestVisibilityTimeoutRedelivery(t *testing.T) {
+	q := strictQueue(t)
+	q.SetVisibility(10 * time.Second)
+	q.SendMessage([]byte("m"))
+	if got := q.ReceiveMessage(1); len(got) != 1 {
+		t.Fatalf("first receive: %v", got)
+	}
+	// While invisible, nothing is delivered.
+	if got := q.ReceiveMessage(1); len(got) != 0 {
+		t.Fatalf("message delivered while invisible: %v", got)
+	}
+	// After the visibility timeout it reappears (at-least-once).
+	q.Env().Clock().Advance(11 * time.Second)
+	got := q.ReceiveMessage(1)
+	if len(got) != 1 {
+		t.Fatal("message lost after visibility timeout")
+	}
+	if got[0].ReceiptHandle == "" {
+		t.Fatal("missing receipt handle")
+	}
+}
+
+func TestAtLeastOnceEveryMessageSurvivesUntilDeleted(t *testing.T) {
+	q := strictQueue(t)
+	q.SetVisibility(time.Second)
+	const n = 50
+	sent := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		id, err := q.SendMessage([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent[id] = true
+	}
+	seen := make(map[string]bool)
+	for tries := 0; tries < 100 && len(seen) < n; tries++ {
+		for _, m := range q.ReceiveMessage(10) {
+			seen[m.ID] = true
+			q.DeleteMessage(m.ReceiptHandle)
+		}
+		q.Env().Clock().Advance(2 * time.Second)
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d of %d messages", len(seen), n)
+	}
+	for id := range seen {
+		if !sent[id] {
+			t.Fatalf("received unknown message %s", id)
+		}
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Consistency = sim.Strict
+	cfg.DupProb = 1 // always duplicate
+	q := New(sim.NewEnv(cfg), "wal")
+	q.SetVisibility(time.Millisecond)
+	q.SendMessage([]byte("m"))
+	count := 0
+	for i := 0; i < 4; i++ {
+		count += len(q.ReceiveMessage(10))
+		q.Env().Clock().Advance(time.Second)
+	}
+	if count < 2 {
+		t.Fatalf("expected duplicate delivery, saw %d", count)
+	}
+}
+
+func TestRetentionExpiry(t *testing.T) {
+	q := strictQueue(t)
+	q.SendMessage([]byte("old"))
+	q.Env().Clock().Advance(DefaultRetention + time.Hour)
+	if got := q.ReceiveMessage(10); len(got) != 0 {
+		t.Fatalf("expired message delivered: %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue length = %d after retention", q.Len())
+	}
+}
+
+func TestReceiveCapsAtTen(t *testing.T) {
+	q := strictQueue(t)
+	for i := 0; i < 20; i++ {
+		q.SendMessage([]byte{byte(i)})
+	}
+	if got := q.ReceiveMessage(25); len(got) > 10 {
+		t.Fatalf("received %d messages, cap is 10", len(got))
+	}
+}
+
+func TestBestEffortOrdering(t *testing.T) {
+	// The queue does not guarantee FIFO; over many drains we should see at
+	// least one out-of-order delivery.
+	q := strictQueue(t)
+	q.SetVisibility(time.Millisecond)
+	outOfOrder := false
+	for round := 0; round < 20 && !outOfOrder; round++ {
+		for i := 0; i < 10; i++ {
+			q.SendMessage([]byte{byte(i)})
+		}
+		var got []byte
+		for len(got) < 10 {
+			for _, m := range q.ReceiveMessage(10) {
+				got = append(got, m.Body[0])
+				q.DeleteMessage(m.ReceiptHandle)
+			}
+			q.Env().Clock().Advance(time.Second)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				outOfOrder = true
+			}
+		}
+	}
+	if !outOfOrder {
+		t.Fatal("delivery looks strictly FIFO; best-effort ordering not exercised")
+	}
+}
+
+func TestDeleteByReceiptIsIdempotent(t *testing.T) {
+	q := strictQueue(t)
+	q.SendMessage([]byte("m"))
+	m := q.ReceiveMessage(1)[0]
+	if err := q.DeleteMessage(m.ReceiptHandle); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.DeleteMessage(m.ReceiptHandle); err != nil {
+		t.Fatalf("second delete failed: %v", err)
+	}
+}
+
+func TestBodyRoundTripProperty(t *testing.T) {
+	q := strictQueue(t)
+	q.SetVisibility(time.Millisecond)
+	f := func(body []byte) bool {
+		if len(body) > MaxMessageSize {
+			body = body[:MaxMessageSize]
+		}
+		if _, err := q.SendMessage(body); err != nil {
+			return false
+		}
+		for tries := 0; tries < 50; tries++ {
+			for _, m := range q.ReceiveMessage(10) {
+				q.DeleteMessage(m.ReceiptHandle)
+				if bytes.Equal(m.Body, body) {
+					return true
+				}
+			}
+			q.Env().Clock().Advance(time.Second)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCountsOps(t *testing.T) {
+	q := strictQueue(t)
+	q.SendMessage([]byte("m"))
+	q.ReceiveMessage(1)
+	u := q.Env().Meter().Usage()
+	if u.OpsByKind["sqs.SendMessage"] != 1 || u.OpsByKind["sqs.ReceiveMessage"] != 1 {
+		t.Fatalf("ops = %v", u.OpsByKind)
+	}
+}

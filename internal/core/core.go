@@ -1,0 +1,165 @@
+// Package core implements the paper's primary contribution: the three
+// protocols for storing data together with its provenance on cloud services,
+// plus the non-provenance S3fs baseline they are compared against.
+//
+//   - P1 (Standalone Cloud Store) keeps both data and provenance in the
+//     object store: each file maps to a primary object and a separate,
+//     uuid-named provenance object; the primary object's metadata links the
+//     two with (uuid, version).
+//   - P2 (Cloud Store with a Cloud Database) keeps data in the object store
+//     and provenance in the database service, one item per object version,
+//     spilling values larger than the database's 1 KB limit to store
+//     objects.
+//   - P3 (Cloud Store, Database and Messaging Service) adds a queue used as
+//     a write-ahead log: the client logs the transaction (data pointer +
+//     provenance chunks) to the queue; an asynchronous commit daemon pushes
+//     provenance to the database and copies the data from a temporary store
+//     object into place, giving eventual provenance data-coupling.
+//
+// The package also provides the coupling/ordering detection of §3
+// (detect.go), the Table-1 property probes (properties.go), and the commit
+// and cleaner daemons of P3 (p3.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/cloud/store"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+)
+
+// Object key prefixes within the bucket.
+const (
+	DataPrefix  = "data/" // primary objects (one per file)
+	ProvPrefix  = "prov/" // P1 provenance objects (named by uuid)
+	TmpPrefix   = "tmp/"  // P3 temporary data objects (named by txn id)
+	SpillPrefix = "pval/" // P2/P3 provenance values larger than 1 KB
+)
+
+// Metadata keys on primary objects linking data to provenance (§4.3.1: "In
+// the primary S3 object's metadata, we record a version number and the
+// uuid").
+const (
+	MetaUUID    = "prov-uuid"
+	MetaVersion = "prov-version"
+)
+
+// SpillMarker prefixes attribute values that point at a spilled store
+// object instead of holding the value inline.
+const SpillMarker = "@s3:"
+
+// ErrSimulatedCrash is returned by commits interrupted by fault injection.
+var ErrSimulatedCrash = errors.New("core: simulated client crash")
+
+// FileObject describes one file to commit: its mount path, logical size and
+// the provenance ref of its current version. Digest, when set, is the hex
+// Merkle root of the file's full provenance closure at commit time; readers
+// use it to verify multi-object causal ordering (see merkleverify.go).
+type FileObject struct {
+	Path   string
+	Size   int64
+	Ref    prov.Ref
+	Digest string
+}
+
+// DataKey returns the primary object key for a mount path.
+func DataKey(path string) string { return DataPrefix + path }
+
+// Protocol is the contract all three protocols and the baseline satisfy.
+// Commit persists the object's data and the supplied provenance bundles
+// (the object's unrecorded versions plus their unrecorded ancestor closure,
+// ancestors first, as assembled by the PASS collector).
+type Protocol interface {
+	// Name is the label used in the evaluation ("S3fs", "P1", "P2", "P3").
+	Name() string
+	// Commit stores obj and its provenance according to the protocol.
+	Commit(obj FileObject, bundles []prov.Bundle) error
+	// Delete removes the primary object; provenance must survive
+	// (data-independent persistence).
+	Delete(path string) error
+	// Fetch retrieves the primary object (read-through on cache miss).
+	Fetch(path string) (store.Object, error)
+	// Settle forces any asynchronous work (P3's commit daemon) to finish;
+	// the other protocols return immediately.
+	Settle() error
+}
+
+// Deployment bundles the service endpoints one client talks to.
+type Deployment struct {
+	Env   *sim.Env
+	Store *store.Store
+	DB    *sdb.Domain
+	WAL   *sqs.Queue
+}
+
+// DomainName is the SimpleDB domain holding provenance items.
+const DomainName = "prov"
+
+// NewDeployment creates a fresh set of service endpoints on env.
+func NewDeployment(env *sim.Env) *Deployment {
+	return &Deployment{
+		Env:   env,
+		Store: store.New(env),
+		DB:    sdb.New(env, DomainName),
+		WAL:   sqs.New(env, "wal"),
+	}
+}
+
+// Settle advances a manual clock far enough that every staleness window has
+// passed; tests use it between writes and assertions. It is a no-op in live
+// mode.
+func (d *Deployment) Settle() {
+	d.Env.Clock().Advance(sim.DefaultStalenessMean * 20)
+}
+
+// Options tunes a protocol's client behaviour.
+type Options struct {
+	// DataConns is the number of concurrent connections used for data
+	// uploads (the S3fs default matches the FUSE writeback pool).
+	DataConns int
+	// ProvConns is the number of concurrent connections used for
+	// provenance uploads (§5.1 tunes these per service).
+	ProvConns int
+	// Ordered makes commits write ancestors strictly before descendants
+	// and provenance strictly before data, as the protocol definitions
+	// require. The paper's measured implementation uploads everything in
+	// parallel instead ("this violates multi-object causal ordering for
+	// P1 and P2"); Ordered false reproduces that.
+	Ordered bool
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults(provConns int) Options {
+	if o.DataConns <= 0 {
+		o.DataConns = 16
+	}
+	if o.ProvConns <= 0 {
+		o.ProvConns = provConns
+	}
+	return o
+}
+
+// dataMeta builds the primary object metadata linking data to provenance.
+func dataMeta(obj FileObject) store.Metadata {
+	m := store.Metadata{
+		MetaUUID:    obj.Ref.UUID.String(),
+		MetaVersion: strconv.Itoa(obj.Ref.Version),
+	}
+	if obj.Digest != "" {
+		m[MetaMerkle] = obj.Digest
+	}
+	return m
+}
+
+// linkedRef parses the (uuid, version) link out of primary-object metadata.
+func linkedRef(meta store.Metadata) (prov.Ref, error) {
+	if meta[MetaUUID] == "" {
+		return prov.Ref{}, fmt.Errorf("core: object has no provenance link")
+	}
+	return prov.ParseRef(meta[MetaUUID] + "_" + meta[MetaVersion])
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/store"
+	"passcloud/internal/prov"
+)
+
+// Provenance-to-item conversion shared by P2 and P3's commit daemon.
+//
+// One bundle (one object version) becomes one database item named
+// uuid_version — the one-row-per-version scheme of §4.3.2 — whose
+// attribute-value pairs are the bundle's records. Cross references are
+// stored as uuid_version strings so queries can follow them. Values larger
+// than the database's 1 KB limit are stored as store objects under
+// SpillPrefix and replaced by a SpillMarker pointer.
+
+// itemsFor converts bundles into database put requests, spilling oversized
+// values to st. It returns the requests in bundle order.
+func itemsFor(st *store.Store, bundles []prov.Bundle) ([]sdb.PutRequest, error) {
+	reqs := make([]sdb.PutRequest, 0, len(bundles))
+	for _, b := range bundles {
+		attrs := make([]sdb.Attr, 0, len(b.Records))
+		for i, r := range b.Records {
+			value := r.Value
+			if r.IsXref() {
+				value = r.Xref.String()
+			} else if len(value) > sdb.MaxValueLen {
+				key := fmt.Sprintf("%s%s/%s/%d", SpillPrefix, b.Ref, r.Attr, i)
+				if err := st.Put(key, []byte(value), nil); err != nil {
+					return nil, fmt.Errorf("core: spilling %s of %s: %w", r.Attr, b.Ref, err)
+				}
+				value = SpillMarker + key
+			}
+			attrs = append(attrs, sdb.Attr{Name: r.Attr, Value: value})
+		}
+		reqs = append(reqs, sdb.PutRequest{Item: b.Ref.String(), Attrs: attrs, Replace: true})
+	}
+	return reqs, nil
+}
+
+// putItems writes the requests with BatchPutAttributes in groups of at most
+// 25 (the service limit), using up to conns concurrent calls; ordered mode
+// writes batches sequentially in the given (ancestors-first) order.
+func putItems(db *sdb.Domain, reqs []sdb.PutRequest, conns int, ordered bool) error {
+	var tasks []func() error
+	for start := 0; start < len(reqs); start += sdb.MaxBatchItems {
+		end := start + sdb.MaxBatchItems
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		batch := reqs[start:end]
+		tasks = append(tasks, func() error { return db.BatchPutAttributes(batch) })
+	}
+	if ordered {
+		return runSequential(tasks)
+	}
+	return runParallel(conns, tasks)
+}
+
+// ResolveValue fetches a possibly spilled attribute value: inline values
+// return as-is, SpillMarker pointers are fetched from the store.
+func ResolveValue(st *store.Store, value string) (string, error) {
+	if len(value) < len(SpillMarker) || value[:len(SpillMarker)] != SpillMarker {
+		return value, nil
+	}
+	o, err := st.Get(value[len(SpillMarker):])
+	if err != nil {
+		return "", err
+	}
+	return string(o.Data), nil
+}
+
+// bundleFromItem reconstructs a provenance bundle from a database item; the
+// query engine uses it to rebuild DAG fragments from query results.
+func bundleFromItem(it sdb.Item) (prov.Bundle, error) {
+	ref, err := prov.ParseRef(it.Name)
+	if err != nil {
+		return prov.Bundle{}, err
+	}
+	b := prov.Bundle{Ref: ref}
+	for _, a := range it.Attrs {
+		switch a.Name {
+		case prov.AttrType:
+			if t, err := prov.ParseObjectType(a.Value); err == nil {
+				b.Type = t
+			}
+			b.Records = append(b.Records, prov.Record{Attr: a.Name, Value: a.Value})
+		case prov.AttrName:
+			b.Name = a.Value
+			b.Records = append(b.Records, prov.Record{Attr: a.Name, Value: a.Value})
+		case prov.AttrInput, prov.AttrPrevVer, prov.AttrForkParent, prov.AttrExecFile:
+			xref, err := prov.ParseRef(a.Value)
+			if err != nil {
+				return prov.Bundle{}, fmt.Errorf("core: bad xref %q on %s: %v", a.Value, it.Name, err)
+			}
+			b.Records = append(b.Records, prov.Record{Attr: a.Name, Xref: xref})
+		default:
+			b.Records = append(b.Records, prov.Record{Attr: a.Name, Value: a.Value})
+		}
+	}
+	return b, nil
+}
+
+// BundleFromItem is the exported form used by the query engine.
+func BundleFromItem(it sdb.Item) (prov.Bundle, error) { return bundleFromItem(it) }
+
+// ItemsForBundles is the exported form of the bundle-to-item conversion,
+// used by the benchmark harness's batch-size ablation.
+func ItemsForBundles(st *store.Store, bundles []prov.Bundle) ([]sdb.PutRequest, error) {
+	return itemsFor(st, bundles)
+}

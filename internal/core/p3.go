@@ -1,0 +1,398 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"passcloud/internal/cloud/store"
+	"passcloud/internal/prov"
+	"passcloud/internal/uuid"
+)
+
+// P3 is the store+database+queue protocol (§4.3.3). The queue is a
+// write-ahead log; commits happen in two phases.
+//
+// Log phase (client, on close/flush):
+//
+//  1. store the data under a temporary name in the object store;
+//  2. allocate a transaction uuid, encode the provenance (the object's new
+//     versions plus all not-yet-written ancestors — including them in the
+//     transaction is what preserves multi-object causal ordering even
+//     though packets are sent in parallel), chunk it into ≤8 KB messages
+//     and send them to the WAL queue. The first message carries the packet
+//     count, the temporary object pointer, the final key and the version.
+//
+// Commit phase (commit daemon, asynchronous):
+//
+//  3. assemble packets by transaction; once a transaction is complete,
+//     spill >1 KB values, BatchPut the provenance into the database, COPY
+//     the temporary object to its permanent key (updating the version
+//     metadata as part of the COPY), DELETE the temporary object and the
+//     transaction's WAL messages.
+//
+// A transaction whose packets never all arrive (client crash mid-log) is
+// ignored; the queue's retention expires its messages and the cleaner
+// daemon removes its temporary object. If the commit daemon crashes
+// mid-commit, the messages reappear after the visibility timeout and any
+// daemon — on any machine — re-runs the commit; every step is idempotent.
+type P3 struct {
+	dep  *Deployment
+	opts Options
+
+	mu      sync.Mutex
+	pending map[uuid.UUID]*txnState
+
+	// committed remembers finished transactions so redelivered packets are
+	// acknowledged without re-running the commit.
+	committed map[uuid.UUID]bool
+
+	// Fault injection (tests and the Table-1 property probes).
+	crashAfterPackets int        // client dies after sending N packets (0 = off)
+	daemonCrash       CrashPoint // daemon dies at this point in the next commit
+
+	chunkSize int
+}
+
+// CrashPoint names a place in the commit daemon where fault injection can
+// kill it.
+type CrashPoint int
+
+// Daemon crash points.
+const (
+	CrashNone      CrashPoint = iota
+	CrashBeforeDB             // before provenance reaches the database
+	CrashAfterDB              // provenance stored, data not yet copied
+	CrashAfterCopy            // data copied, temp + WAL not yet cleaned
+)
+
+// txnState accumulates packets of one transaction.
+type txnState struct {
+	header   *walTxn
+	got      map[int][]byte
+	receipts []string
+}
+
+// NewP3 returns a P3 client (and its daemons' logic) bound to dep.
+func NewP3(dep *Deployment, opts Options) *P3 {
+	return &P3{
+		dep:       dep,
+		opts:      opts.withDefaults(150),
+		pending:   make(map[uuid.UUID]*txnState),
+		committed: make(map[uuid.UUID]bool),
+		chunkSize: DefaultChunkSize,
+	}
+}
+
+// Name implements Protocol.
+func (p *P3) Name() string { return "P3" }
+
+// SetChunkSize overrides the WAL chunk payload size (ablation benchmarks).
+func (p *P3) SetChunkSize(n int) { p.chunkSize = n }
+
+// SetClientCrashAfter makes the next Commit die after sending n packets.
+func (p *P3) SetClientCrashAfter(n int) { p.crashAfterPackets = n }
+
+// SetDaemonCrash makes the next daemon commit die at the given point.
+func (p *P3) SetDaemonCrash(c CrashPoint) { p.daemonCrash = c }
+
+// TmpKey is the temporary object key for a transaction.
+func TmpKey(txn uuid.UUID) string { return TmpPrefix + txn.String() }
+
+// Commit implements the log phase.
+func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
+	txn := uuid.New(p.dep.Env.Rand())
+
+	// 1. Data to a temporary object. Objects with no data (pure
+	// provenance flushes) skip this step.
+	tmpKey := ""
+	if obj.Path != "" {
+		tmpKey = TmpKey(txn)
+		if err := p.dep.Store.PutSized(tmpKey, obj.Size, nil); err != nil {
+			return err
+		}
+	}
+
+	// 2. Chunk the provenance into WAL messages and send them in parallel
+	// (order does not matter: the daemon reassembles by sequence number).
+	hdr := walTxn{
+		Txn:      txn,
+		TmpKey:   tmpKey,
+		FinalKey: DataKey(obj.Path),
+		Size:     obj.Size,
+		Ref:      obj.Ref,
+		Digest:   obj.Digest,
+	}
+	msgs := encodeWAL(txn, hdr, prov.EncodeBundles(bundles), p.chunkSize)
+
+	crashAt := p.crashAfterPackets
+	if crashAt > 0 && crashAt < len(msgs) {
+		p.crashAfterPackets = 0
+		// Simulated client crash: only the first crashAt packets reach the
+		// WAL; the daemon must ignore the incomplete transaction.
+		for _, m := range msgs[:crashAt] {
+			if _, err := p.dep.WAL.SendMessage(m); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("%w after %d of %d packets", ErrSimulatedCrash, crashAt, len(msgs))
+	}
+
+	tasks := make([]func() error, len(msgs))
+	for i, m := range msgs {
+		m := m
+		tasks[i] = func() error {
+			_, err := p.dep.WAL.SendMessage(m)
+			return err
+		}
+	}
+	return runParallel(p.opts.ProvConns, tasks)
+}
+
+// CommitOnce runs one round of the commit daemon: receive a batch of WAL
+// messages, fold them into transaction state, and commit any transaction
+// that became complete. It reports whether it made progress.
+func (p *P3) CommitOnce() (bool, error) {
+	msgs := p.dep.WAL.ReceiveMessage(10)
+	if len(msgs) == 0 {
+		return false, nil
+	}
+	var ready []*txnState
+	p.mu.Lock()
+	for _, m := range msgs {
+		pkt, err := decodeWAL(m.Body)
+		if err != nil {
+			// An undecodable packet is dropped; retention will expire it.
+			continue
+		}
+		if p.committed[pkt.Txn] {
+			// Redelivery of an already-committed transaction: just ack.
+			p.dep.WAL.DeleteMessage(m.ReceiptHandle)
+			continue
+		}
+		st := p.pending[pkt.Txn]
+		if st == nil {
+			st = &txnState{got: make(map[int][]byte)}
+			p.pending[pkt.Txn] = st
+		}
+		st.receipts = append(st.receipts, m.ReceiptHandle)
+		if _, dup := st.got[pkt.Seq]; !dup {
+			st.got[pkt.Seq] = pkt.Payload
+		}
+		if pkt.First {
+			hdr := pkt.Header
+			st.header = &hdr
+		}
+		if st.header != nil && len(st.got) == st.header.Total {
+			ready = append(ready, st)
+			delete(p.pending, pkt.Txn)
+		}
+	}
+	p.mu.Unlock()
+
+	var firstErr error
+	for _, st := range ready {
+		if err := p.commitTxn(st); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p.mu.Lock()
+		p.committed[st.header.Txn] = true
+		p.mu.Unlock()
+	}
+	return true, firstErr
+}
+
+// errDaemonCrash distinguishes injected daemon crashes.
+var errDaemonCrash = errors.New("core: simulated commit daemon crash")
+
+// commitTxn pushes one complete transaction to its final state. Every step
+// is idempotent so a crashed commit can be re-run by any daemon.
+func (p *P3) commitTxn(st *txnState) error {
+	hdr := st.header
+
+	// Reassemble and decode the provenance payload.
+	var payload []byte
+	for seq := 0; seq < hdr.Total; seq++ {
+		chunk, ok := st.got[seq]
+		if !ok {
+			return fmt.Errorf("core: txn %s missing packet %d", hdr.Txn, seq)
+		}
+		payload = append(payload, chunk...)
+	}
+	bundles, err := prov.DecodeBundles(payload)
+	if err != nil {
+		return fmt.Errorf("core: txn %s: %w", hdr.Txn, err)
+	}
+
+	if p.takeCrash(CrashBeforeDB) {
+		return errDaemonCrash
+	}
+
+	// 1+2. Spill oversized values, then store provenance in the database.
+	reqs, err := itemsFor(p.dep.Store, bundles)
+	if err != nil {
+		return err
+	}
+	if err := putItems(p.dep.DB, reqs, p.opts.ProvConns, false); err != nil {
+		return err
+	}
+
+	if p.takeCrash(CrashAfterDB) {
+		return errDaemonCrash
+	}
+
+	// 3. COPY the temporary object to its permanent key, setting the
+	// linking metadata as part of the COPY (atomic data+metadata update).
+	if hdr.TmpKey != "" {
+		meta := store.Metadata{
+			MetaUUID:    hdr.Ref.UUID.String(),
+			MetaVersion: strconv.Itoa(hdr.Ref.Version),
+		}
+		if hdr.Digest != "" {
+			meta[MetaMerkle] = hdr.Digest
+		}
+		if err := p.dep.Store.Copy(hdr.TmpKey, hdr.FinalKey, meta); err != nil {
+			// The temp object may already be gone if a previous daemon
+			// crashed between COPY+DELETE and message acknowledgement;
+			// accept the state if the final object carries our version.
+			if !p.alreadyCommitted(hdr) {
+				return fmt.Errorf("core: txn %s copy: %w", hdr.Txn, err)
+			}
+		}
+	}
+
+	if p.takeCrash(CrashAfterCopy) {
+		return errDaemonCrash
+	}
+
+	// 4. Delete the temporary object and the transaction's WAL messages.
+	if hdr.TmpKey != "" {
+		if err := p.dep.Store.Delete(hdr.TmpKey); err != nil {
+			return err
+		}
+	}
+	for _, r := range st.receipts {
+		if err := p.dep.WAL.DeleteMessage(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alreadyCommitted checks whether the final object already carries the
+// transaction's version (a prior daemon finished the COPY before dying).
+func (p *P3) alreadyCommitted(hdr *walTxn) bool {
+	meta, err := p.dep.Store.Head(hdr.FinalKey)
+	if err != nil {
+		return false
+	}
+	return meta[MetaUUID] == hdr.Ref.UUID.String() &&
+		meta[MetaVersion] == strconv.Itoa(hdr.Ref.Version)
+}
+
+// takeCrash consumes a one-shot injected crash point.
+func (p *P3) takeCrash(c CrashPoint) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.daemonCrash == c {
+		p.daemonCrash = CrashNone
+		return true
+	}
+	return false
+}
+
+// Settle drains the commit daemon until the WAL holds nothing actionable:
+// it keeps receiving until several consecutive rounds make no progress.
+// Incomplete transactions (crashed clients) are left for retention and the
+// cleaner, as on the real system.
+func (p *P3) Settle() error {
+	idle := 0
+	var lastErr error
+	for idle < 3 {
+		progress, err := p.CommitOnce()
+		if err != nil {
+			lastErr = err
+		}
+		if progress {
+			idle = 0
+		} else {
+			idle++
+			// Let visibility timeouts and staleness windows pass so
+			// unacknowledged messages reappear.
+			p.dep.Env.Clock().Sleep(p.dep.WAL.Env().Config().StalenessMean)
+		}
+	}
+	return lastErr
+}
+
+// RunDaemon runs the commit daemon until stop is closed (live mode). The
+// poll interval spaces queue receives when the WAL is empty.
+func (p *P3) RunDaemon(stop <-chan struct{}, poll time.Duration) {
+	if poll <= 0 {
+		poll = 2 * time.Second
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		progress, _ := p.CommitOnce()
+		if !progress {
+			p.dep.Env.Clock().Sleep(poll)
+		}
+	}
+}
+
+// PendingTxns reports transactions with packets outstanding (incomplete or
+// not yet committed).
+func (p *P3) PendingTxns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// Delete removes the primary object; provenance is untouched.
+func (p *P3) Delete(path string) error {
+	return p.dep.Store.Delete(DataKey(path))
+}
+
+// Fetch retrieves the primary object.
+func (p *P3) Fetch(path string) (store.Object, error) {
+	return p.dep.Store.Get(DataKey(path))
+}
+
+// CleanerMaxAge is how long an unaccessed temporary object survives before
+// the cleaner removes it (§4.3.3 uses the WAL's four-day retention).
+const CleanerMaxAge = 4 * 24 * time.Hour
+
+// RunCleaner makes one pass of the cleaner daemon: it lists temporary
+// objects and deletes those not accessed within maxAge (uncommitted
+// leftovers of crashed clients). It returns the number removed.
+func (p *P3) RunCleaner(maxAge time.Duration) (int, error) {
+	if maxAge <= 0 {
+		maxAge = CleanerMaxAge
+	}
+	keys, _, err := p.dep.Store.ListAll(TmpPrefix)
+	if err != nil {
+		return 0, err
+	}
+	now := p.dep.Env.Now()
+	removed := 0
+	for _, k := range keys {
+		at, ok := p.dep.Store.LastAccess(k)
+		if !ok || now-at < maxAge {
+			continue
+		}
+		if err := p.dep.Store.Delete(k); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import "sync"
+
+// runParallel executes tasks on at most workers goroutines and returns the
+// first error (all tasks run regardless, mirroring how the client's upload
+// pool drains even when one transfer fails).
+func runParallel(workers int, tasks []func() error) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	ch := make(chan func() error)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range ch {
+				if err := task(); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return first
+}
+
+// runSequential executes tasks in order, stopping at the first error.
+func runSequential(tasks []func() error) error {
+	for _, t := range tasks {
+		if err := t(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/prov"
+	"passcloud/internal/uuid"
+)
+
+// WAL packet format for P3 (§4.3.3). A transaction's provenance is encoded
+// with the prov wire format and split into chunks small enough that every
+// message fits the queue's 8 KB limit. The first bytes of each message
+// carry the transaction id and a packet sequence number; the first packet
+// additionally carries the packet count, a pointer to the temporary data
+// object, the final object key, the object's size and its (uuid, version)
+// link — everything the commit daemon needs.
+//
+// Layout:
+//
+//	magic   uint16 0x574c ("WL")
+//	txn     [16]byte
+//	seq     uvarint
+//	flags   byte (1 == first packet)
+//	first packet only:
+//	  total    uvarint (number of packets in the transaction)
+//	  tmpKey   uvarint-prefixed string ("" if the object carries no data)
+//	  finalKey uvarint-prefixed string
+//	  size     uvarint
+//	  uuid     [16]byte
+//	  version  uvarint
+//	payload  rest of message (a fragment of the encoded provenance)
+
+const walMagic = 0x574c
+
+// walHeaderRoom is the conservative bound reserved for packet headers when
+// choosing the chunk payload size.
+const walHeaderRoom = 160
+
+// DefaultChunkSize is the provenance payload carried per WAL message.
+const DefaultChunkSize = sqs.MaxMessageSize - walHeaderRoom
+
+// walTxn is the decoded view of one transaction's first packet.
+type walTxn struct {
+	Txn      uuid.UUID
+	Total    int
+	TmpKey   string
+	FinalKey string
+	Size     int64
+	Ref      prov.Ref
+	Digest   string // hex Merkle root of the closure (may be empty)
+}
+
+// walPacket is one decoded WAL message.
+type walPacket struct {
+	Txn     uuid.UUID
+	Seq     int
+	First   bool
+	Header  walTxn // valid when First
+	Payload []byte
+}
+
+// encodeWAL splits an encoded provenance payload into WAL messages.
+func encodeWAL(txn uuid.UUID, hdr walTxn, payload []byte, chunkSize int) [][]byte {
+	if chunkSize <= 0 || chunkSize > sqs.MaxMessageSize-walHeaderRoom {
+		chunkSize = DefaultChunkSize
+	}
+	var chunks [][]byte
+	for start := 0; ; start += chunkSize {
+		end := start + chunkSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunks = append(chunks, payload[start:end])
+		if end == len(payload) {
+			break
+		}
+	}
+	msgs := make([][]byte, 0, len(chunks))
+	for seq, chunk := range chunks {
+		msg := binary.BigEndian.AppendUint16(nil, walMagic)
+		msg = append(msg, txn[:]...)
+		msg = binary.AppendUvarint(msg, uint64(seq))
+		if seq == 0 {
+			msg = append(msg, 1)
+			msg = binary.AppendUvarint(msg, uint64(len(chunks)))
+			msg = appendWALString(msg, hdr.TmpKey)
+			msg = appendWALString(msg, hdr.FinalKey)
+			msg = binary.AppendUvarint(msg, uint64(hdr.Size))
+			msg = append(msg, hdr.Ref.UUID[:]...)
+			msg = binary.AppendUvarint(msg, uint64(hdr.Ref.Version))
+			msg = appendWALString(msg, hdr.Digest)
+		} else {
+			msg = append(msg, 0)
+		}
+		msgs = append(msgs, append(msg, chunk...))
+	}
+	return msgs
+}
+
+// decodeWAL parses one WAL message.
+func decodeWAL(msg []byte) (walPacket, error) {
+	var p walPacket
+	if len(msg) < 2+16+2 {
+		return p, fmt.Errorf("core: short wal packet")
+	}
+	if binary.BigEndian.Uint16(msg) != walMagic {
+		return p, fmt.Errorf("core: bad wal magic")
+	}
+	msg = msg[2:]
+	copy(p.Txn[:], msg[:16])
+	msg = msg[16:]
+	seq, n := binary.Uvarint(msg)
+	if n <= 0 {
+		return p, fmt.Errorf("core: bad wal seq")
+	}
+	p.Seq = int(seq)
+	msg = msg[n:]
+	if len(msg) < 1 {
+		return p, fmt.Errorf("core: truncated wal flags")
+	}
+	p.First = msg[0] == 1
+	msg = msg[1:]
+	if p.First {
+		total, n := binary.Uvarint(msg)
+		if n <= 0 {
+			return p, fmt.Errorf("core: bad wal total")
+		}
+		msg = msg[n:]
+		var err error
+		var tmp, final string
+		if tmp, msg, err = readWALString(msg); err != nil {
+			return p, err
+		}
+		if final, msg, err = readWALString(msg); err != nil {
+			return p, err
+		}
+		size, n := binary.Uvarint(msg)
+		if n <= 0 {
+			return p, fmt.Errorf("core: bad wal size")
+		}
+		msg = msg[n:]
+		if len(msg) < 16 {
+			return p, fmt.Errorf("core: truncated wal uuid")
+		}
+		var ref prov.Ref
+		copy(ref.UUID[:], msg[:16])
+		msg = msg[16:]
+		ver, n := binary.Uvarint(msg)
+		if n <= 0 {
+			return p, fmt.Errorf("core: bad wal version")
+		}
+		msg = msg[n:]
+		ref.Version = int(ver)
+		var digest string
+		if digest, msg, err = readWALString(msg); err != nil {
+			return p, err
+		}
+		p.Header = walTxn{
+			Txn:      p.Txn,
+			Total:    int(total),
+			TmpKey:   tmp,
+			FinalKey: final,
+			Size:     int64(size),
+			Ref:      ref,
+			Digest:   digest,
+		}
+	}
+	p.Payload = msg
+	return p, nil
+}
+
+func appendWALString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readWALString(data []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return "", nil, fmt.Errorf("core: truncated wal string")
+	}
+	return string(data[n : n+int(l)]), data[n+int(l):], nil
+}

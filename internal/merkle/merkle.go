@@ -1,0 +1,144 @@
+// Package merkle implements the hash-tree verification §4.3.1 prescribes
+// for reading clients: "A reading client that wants to check multi-object
+// causal ordering must use Merkle hash trees or some similar scheme to
+// verify the property."
+//
+// A writer summarizes an object's provenance closure as a Merkle tree whose
+// leaves are the hashes of the individual bundles (ancestors first). The
+// root digest travels with the object; a reader recomputes leaf hashes from
+// the provenance it actually observes and verifies the root. A stale or
+// missing ancestor changes a leaf and therefore the root, so ordering
+// violations are detected without trusting the store.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"passcloud/internal/prov"
+)
+
+// Digest is a SHA-256 node hash.
+type Digest [sha256.Size]byte
+
+// String renders the digest in hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// leafPrefix and nodePrefix domain-separate leaf and interior hashes,
+// preventing second-preimage splices between levels.
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// HashBundle hashes one provenance bundle as a leaf.
+func HashBundle(b prov.Bundle) Digest {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write(prov.EncodeBundles([]prov.Bundle{b}))
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Root computes the Merkle root over the leaves in order. An empty input
+// hashes to the digest of the empty leaf set.
+func Root(leaves []Digest) Digest {
+	if len(leaves) == 0 {
+		var d Digest
+		copy(d[:], sha256.New().Sum(nil))
+		return d
+	}
+	level := append([]Digest(nil), leaves...)
+	for len(level) > 1 {
+		var next []Digest
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i]) // odd node promotes
+				continue
+			}
+			h := sha256.New()
+			h.Write(nodePrefix)
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var d Digest
+			copy(d[:], h.Sum(nil))
+			next = append(next, d)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// RootOfBundles summarizes a provenance closure (ancestors first, as the
+// collector emits it).
+func RootOfBundles(bundles []prov.Bundle) Digest {
+	leaves := make([]Digest, len(bundles))
+	for i, b := range bundles {
+		leaves[i] = HashBundle(b)
+	}
+	return Root(leaves)
+}
+
+// Proof is an inclusion proof for one leaf.
+type Proof struct {
+	Index    int
+	Siblings []Digest
+}
+
+// ProveLeaf builds the inclusion proof of leaf index i.
+func ProveLeaf(leaves []Digest, i int) Proof {
+	p := Proof{Index: i}
+	level := append([]Digest(nil), leaves...)
+	idx := i
+	for len(level) > 1 {
+		var next []Digest
+		for j := 0; j < len(level); j += 2 {
+			if j+1 == len(level) {
+				next = append(next, level[j])
+				continue
+			}
+			h := sha256.New()
+			h.Write(nodePrefix)
+			h.Write(level[j][:])
+			h.Write(level[j+1][:])
+			var d Digest
+			copy(d[:], h.Sum(nil))
+			next = append(next, d)
+		}
+		sib := idx ^ 1
+		if sib < len(level) {
+			p.Siblings = append(p.Siblings, level[sib])
+		} else {
+			p.Siblings = append(p.Siblings, Digest{}) // odd promotion marker
+		}
+		idx /= 2
+		level = next
+	}
+	return p
+}
+
+// VerifyLeaf checks an inclusion proof against a root.
+func VerifyLeaf(root Digest, leaf Digest, p Proof) bool {
+	cur := leaf
+	idx := p.Index
+	var zero Digest
+	for _, sib := range p.Siblings {
+		if sib == zero { // odd promotion: hash carries up unchanged
+			idx /= 2
+			continue
+		}
+		h := sha256.New()
+		h.Write(nodePrefix)
+		if idx%2 == 0 {
+			h.Write(cur[:])
+			h.Write(sib[:])
+		} else {
+			h.Write(sib[:])
+			h.Write(cur[:])
+		}
+		copy(cur[:], h.Sum(nil))
+		idx /= 2
+	}
+	return cur == root
+}

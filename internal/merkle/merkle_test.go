@@ -1,0 +1,113 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+	"passcloud/internal/uuid"
+)
+
+var rnd = sim.NewRand(77)
+
+func someBundles(n int) []prov.Bundle {
+	out := make([]prov.Bundle, n)
+	for i := range out {
+		out[i] = prov.Bundle{
+			Ref:  prov.Ref{UUID: uuid.New(rnd), Version: 1},
+			Type: prov.File,
+			Name: "f",
+			Records: []prov.Record{
+				{Attr: prov.AttrName, Value: "f"},
+			},
+		}
+	}
+	return out
+}
+
+func TestRootDeterministic(t *testing.T) {
+	bs := someBundles(7)
+	if RootOfBundles(bs) != RootOfBundles(bs) {
+		t.Fatal("root not deterministic")
+	}
+}
+
+func TestRootDetectsTamper(t *testing.T) {
+	bs := someBundles(8)
+	root := RootOfBundles(bs)
+	bs[3].Records = append(bs[3].Records, prov.Record{Attr: "forged", Value: "x"})
+	if RootOfBundles(bs) == root {
+		t.Fatal("tampered bundle kept the same root")
+	}
+}
+
+func TestRootDetectsMissingAncestor(t *testing.T) {
+	bs := someBundles(5)
+	root := RootOfBundles(bs)
+	if RootOfBundles(bs[1:]) == root {
+		t.Fatal("dropping a bundle kept the same root")
+	}
+}
+
+func TestRootDetectsReordering(t *testing.T) {
+	bs := someBundles(4)
+	root := RootOfBundles(bs)
+	bs[0], bs[1] = bs[1], bs[0]
+	if RootOfBundles(bs) == root {
+		t.Fatal("reordering kept the same root")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var none []Digest
+	if Root(none) == (Digest{}) {
+		t.Fatal("empty root should not be the zero digest")
+	}
+	one := []Digest{HashBundle(someBundles(1)[0])}
+	if Root(one) != one[0] {
+		t.Fatal("single-leaf root should be the leaf")
+	}
+}
+
+func TestInclusionProofs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+		bs := someBundles(n)
+		leaves := make([]Digest, n)
+		for i, b := range bs {
+			leaves[i] = HashBundle(b)
+		}
+		root := Root(leaves)
+		for i := 0; i < n; i++ {
+			p := ProveLeaf(leaves, i)
+			if !VerifyLeaf(root, leaves[i], p) {
+				t.Fatalf("n=%d leaf %d: valid proof rejected", n, i)
+			}
+			if n > 1 {
+				wrong := leaves[(i+1)%n]
+				if VerifyLeaf(root, wrong, p) {
+					t.Fatalf("n=%d leaf %d: proof accepted wrong leaf", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestProofQuickProperty(t *testing.T) {
+	f := func(count uint8, pick uint8) bool {
+		n := int(count)%20 + 1
+		i := int(pick) % n
+		leaves := make([]Digest, n)
+		for j := range leaves {
+			leaves[j] = HashBundle(prov.Bundle{
+				Ref:  prov.Ref{UUID: uuid.New(rnd), Version: 1},
+				Type: prov.File,
+			})
+		}
+		root := Root(leaves)
+		return VerifyLeaf(root, leaves[i], ProveLeaf(leaves, i))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,413 @@
+// Package pass implements the provenance collection substrate: the role the
+// PASS kernel plays in the paper. The collector observes a system-call
+// trace, builds the provenance DAG, and hands per-object provenance bundles
+// to the storage layer on close/flush.
+//
+// Versioning follows the causality-based scheme of PASS: every version of a
+// file or process is a distinct DAG node, and a new version is created
+// exactly when adding a dependency edge would otherwise close a cycle
+// (a process that read a file then writes it produces a new file version
+// that depends on both the process and the previous file version). The
+// resulting graph is acyclic by construction, which internal/prov can check.
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"passcloud/internal/prov"
+	"passcloud/internal/trace"
+	"passcloud/internal/uuid"
+)
+
+// objectState tracks the live head version of one file/pipe/process.
+type objectState struct {
+	ref     prov.Ref // current version
+	typ     prov.ObjectType
+	name    string
+	size    int64 // current logical size (files)
+	removed bool
+}
+
+// Collector turns trace events into a provenance graph. It also plays the
+// role of the client-side provenance cache: bundles accumulate in memory
+// until the storage layer takes them at close/flush time.
+type Collector struct {
+	src   uuid.Source
+	graph *prov.Graph
+
+	procs map[int]*objectState
+	files map[string]*objectState
+
+	// recorded marks node versions already handed to (and accepted by) the
+	// storage layer; everything else is dirty client-side state.
+	recorded map[prov.Ref]bool
+
+	clock func() time.Duration // start-time attribution for processes
+}
+
+// New returns an empty collector drawing uuids from src. The optional clock
+// supplies process start times; nil uses a monotonic counter.
+func New(src uuid.Source, clock func() time.Duration) *Collector {
+	c := &Collector{
+		src:      src,
+		graph:    prov.NewGraph(),
+		procs:    make(map[int]*objectState),
+		files:    make(map[string]*objectState),
+		recorded: make(map[prov.Ref]bool),
+		clock:    clock,
+	}
+	if c.clock == nil {
+		var tick time.Duration
+		c.clock = func() time.Duration { tick += time.Millisecond; return tick }
+	}
+	return c
+}
+
+// Graph exposes the collected DAG (read-only by convention).
+func (c *Collector) Graph() *prov.Graph { return c.graph }
+
+// FileRef returns the current version ref of path, if the file exists.
+func (c *Collector) FileRef(path string) (prov.Ref, bool) {
+	st, ok := c.files[path]
+	if !ok || st.removed {
+		return prov.Ref{}, false
+	}
+	return st.ref, true
+}
+
+// FileSize returns the current logical size of path.
+func (c *Collector) FileSize(path string) int64 {
+	if st, ok := c.files[path]; ok {
+		return st.size
+	}
+	return 0
+}
+
+// ProcRef returns the current version ref of pid's process node.
+func (c *Collector) ProcRef(pid int) (prov.Ref, bool) {
+	st, ok := c.procs[pid]
+	if !ok {
+		return prov.Ref{}, false
+	}
+	return st.ref, true
+}
+
+// Apply feeds one event into the collector.
+func (c *Collector) Apply(ev trace.Event) error {
+	switch ev.Kind {
+	case trace.Exec:
+		c.exec(ev)
+	case trace.Fork:
+		c.fork(ev)
+	case trace.Exit:
+		// Process nodes persist in the DAG; nothing to do.
+	case trace.Read:
+		c.read(ev.PID, ev.Path)
+	case trace.Write:
+		c.write(ev.PID, ev.Path, ev.Bytes)
+	case trace.MkPipe:
+		c.mkpipe(ev.PID, ev.Path)
+	case trace.Unlink:
+		c.unlink(ev.Path)
+	case trace.Close, trace.Flush, trace.Compute:
+		// Close/flush are storage-layer triggers; compute is time only.
+	default:
+		return fmt.Errorf("pass: unknown event kind %v", ev.Kind)
+	}
+	return nil
+}
+
+// newNode allocates and inserts a fresh node version.
+func (c *Collector) newNode(u uuid.UUID, version int, typ prov.ObjectType, name string) *prov.Node {
+	n := &prov.Node{Ref: prov.Ref{UUID: u, Version: version}, Type: typ, Name: name}
+	n.Records = append(n.Records, prov.Record{Attr: prov.AttrType, Value: typ.String()})
+	if name != "" {
+		n.Records = append(n.Records, prov.Record{Attr: prov.AttrName, Value: name})
+	}
+	if err := c.graph.Add(n); err != nil {
+		// Version allocation is internal; a collision is a bug.
+		panic(err)
+	}
+	return n
+}
+
+// exec creates (or re-versions) the process node for pid with the full
+// attribute set PASS records: argv, environment, pid, start time, binary.
+func (c *Collector) exec(ev trace.Event) {
+	st, ok := c.procs[ev.PID]
+	if !ok {
+		st = &objectState{typ: prov.Process}
+		c.procs[ev.PID] = st
+		st.ref = prov.Ref{UUID: uuid.New(c.src), Version: 0}
+	}
+	name := ev.Path
+	if len(ev.Argv) > 0 {
+		name = ev.Argv[0]
+	}
+	prevRef := st.ref
+	st.ref = prov.Ref{UUID: st.ref.UUID, Version: st.ref.Version + 1}
+	st.name = name
+	n := c.newNode(st.ref.UUID, st.ref.Version, prov.Process, name)
+	if prevRef.Version > 0 {
+		n.Records = append(n.Records, prov.Record{Attr: prov.AttrPrevVer, Xref: prevRef})
+	}
+	n.Records = append(n.Records,
+		prov.Record{Attr: prov.AttrPID, Value: fmt.Sprint(ev.PID)},
+		prov.Record{Attr: prov.AttrStartTime, Value: c.clock().String()},
+	)
+	for _, a := range ev.Argv {
+		n.Records = append(n.Records, prov.Record{Attr: prov.AttrArgv, Value: a})
+	}
+	for _, e := range ev.Env {
+		n.Records = append(n.Records, prov.Record{Attr: prov.AttrEnv, Value: e})
+	}
+	// The executed binary is an input if it is a tracked file.
+	if bin, ok := c.files[ev.Path]; ok && !bin.removed {
+		c.graph.AddRecord(st.ref, prov.Record{Attr: prov.AttrExecFile, Xref: bin.ref})
+	}
+}
+
+// fork records the parent reference on the child's process node. The child
+// node proper appears at its exec; if the child never execs, a bare process
+// node is created here.
+func (c *Collector) fork(ev trace.Event) {
+	parent, ok := c.procs[ev.PID]
+	if !ok {
+		c.exec(trace.Event{Kind: trace.Exec, PID: ev.PID, Path: "unknown"})
+		parent = c.procs[ev.PID]
+	}
+	child := &objectState{typ: prov.Process, ref: prov.Ref{UUID: uuid.New(c.src), Version: 1}, name: parent.name}
+	c.procs[ev.Child] = child
+	n := c.newNode(child.ref.UUID, 1, prov.Process, parent.name)
+	n.Records = append(n.Records,
+		prov.Record{Attr: prov.AttrPID, Value: fmt.Sprint(ev.Child)},
+		prov.Record{Attr: prov.AttrForkParent, Xref: parent.ref},
+	)
+}
+
+// fileState returns (creating on demand) the state for path.
+func (c *Collector) fileState(path string, typ prov.ObjectType) *objectState {
+	st, ok := c.files[path]
+	if !ok || st.removed {
+		st = &objectState{typ: typ, name: path, ref: prov.Ref{UUID: uuid.New(c.src), Version: 1}}
+		c.files[path] = st
+		c.newNode(st.ref.UUID, 1, typ, path)
+	}
+	return st
+}
+
+// procState returns (creating on demand) the process state for pid.
+func (c *Collector) procState(pid int) *objectState {
+	st, ok := c.procs[pid]
+	if !ok {
+		c.exec(trace.Event{Kind: trace.Exec, PID: pid, Path: "unknown"})
+		st = c.procs[pid]
+	}
+	return st
+}
+
+// read records "process depends on file": an INPUT edge from the process
+// node to the file's current version. If the file's current version already
+// depends on this process version (the process wrote it earlier), adding the
+// edge would close a cycle, so the process is re-versioned first — the
+// causality-based versioning algorithm.
+func (c *Collector) read(pid int, path string) {
+	p := c.procState(pid)
+	f := c.fileState(path, typeForPath(path))
+	if c.hasInput(p.ref, f.ref) {
+		return // duplicate edge; PASS deduplicates repeated reads
+	}
+	if c.graph.Reachable(f.ref, p.ref) {
+		c.bumpProc(p)
+	}
+	c.graph.AddRecord(p.ref, prov.Record{Attr: prov.AttrInput, Xref: f.ref})
+}
+
+// write records "file depends on process". If the process already depends on
+// the file's current version (it read the file earlier), the file is
+// re-versioned: the new version depends on both the writing process and the
+// previous file version.
+func (c *Collector) write(pid int, path string, n int64) {
+	p := c.procState(pid)
+	f := c.fileState(path, typeForPath(path))
+	f.size += n
+	if c.hasInput(f.ref, p.ref) {
+		return // this process version already recorded as writer
+	}
+	if c.graph.Reachable(p.ref, f.ref) {
+		c.bumpFile(f)
+	}
+	c.graph.AddRecord(f.ref, prov.Record{Attr: prov.AttrInput, Xref: p.ref})
+}
+
+// bumpProc creates the next version node of a process.
+func (c *Collector) bumpProc(p *objectState) {
+	prev := p.ref
+	p.ref = prov.Ref{UUID: prev.UUID, Version: prev.Version + 1}
+	n := c.newNode(p.ref.UUID, p.ref.Version, prov.Process, p.name)
+	n.Records = append(n.Records, prov.Record{Attr: prov.AttrPrevVer, Xref: prev})
+}
+
+// bumpFile creates the next version node of a file or pipe.
+func (c *Collector) bumpFile(f *objectState) {
+	prev := f.ref
+	f.ref = prov.Ref{UUID: prev.UUID, Version: prev.Version + 1}
+	n := c.newNode(f.ref.UUID, f.ref.Version, f.typ, f.name)
+	n.Records = append(n.Records, prov.Record{Attr: prov.AttrPrevVer, Xref: prev})
+}
+
+// hasInput reports whether from already carries an input edge to to.
+func (c *Collector) hasInput(from, to prov.Ref) bool {
+	n := c.graph.Node(from)
+	if n == nil {
+		return false
+	}
+	for _, r := range n.Records {
+		if r.IsXref() && r.Xref == to {
+			return true
+		}
+	}
+	return false
+}
+
+// mkpipe creates a pipe node (pipes have no name attribute in PASS; the
+// path is only the collector's handle).
+func (c *Collector) mkpipe(pid int, path string) {
+	st := &objectState{typ: prov.Pipe, ref: prov.Ref{UUID: uuid.New(c.src), Version: 1}}
+	c.files[path] = st
+	c.newNode(st.ref.UUID, 1, prov.Pipe, "")
+	_ = pid
+}
+
+// unlink marks the file removed. Its provenance nodes remain in the graph —
+// data-independent persistence.
+func (c *Collector) unlink(path string) {
+	if st, ok := c.files[path]; ok {
+		st.removed = true
+	}
+}
+
+// typeForPath distinguishes pipes (created via MkPipe, read/written by
+// their handle) from regular files.
+func typeForPath(path string) prov.ObjectType {
+	if len(path) > 5 && path[:5] == "pipe:" {
+		return prov.Pipe
+	}
+	return prov.File
+}
+
+// MarkRecorded notes that the storage layer has durably recorded these node
+// versions; they will not be bundled again.
+func (c *Collector) MarkRecorded(refs ...prov.Ref) {
+	for _, r := range refs {
+		c.recorded[r] = true
+	}
+}
+
+// Recorded reports whether ref has been durably recorded.
+func (c *Collector) Recorded(ref prov.Ref) bool { return c.recorded[ref] }
+
+// PendingFor assembles the bundles that must be persisted when path is
+// closed or flushed: every unrecorded version of the file itself plus the
+// unrecorded ancestor closure (process nodes, prior versions, upstream
+// files), ancestors first. This is the multi-object causal ordering set of
+// §3: the storage layer must write these before (or atomically with) the
+// object.
+func (c *Collector) PendingFor(path string) []prov.Bundle {
+	st, ok := c.files[path]
+	if !ok {
+		return nil
+	}
+	// Gather unrecorded versions of this file (oldest first) as roots.
+	var roots []prov.Ref
+	for v := 1; v <= st.ref.Version; v++ {
+		r := prov.Ref{UUID: st.ref.UUID, Version: v}
+		if !c.recorded[r] && c.graph.Node(r) != nil {
+			roots = append(roots, r)
+		}
+	}
+	return c.closure(roots)
+}
+
+// PendingAll returns every unrecorded bundle in the graph, ancestors first.
+// The microbenchmark replayer uses it to upload a captured provenance set.
+func (c *Collector) PendingAll() []prov.Bundle {
+	var roots []prov.Ref
+	for _, n := range c.graph.Nodes() {
+		if !c.recorded[n.Ref] {
+			roots = append(roots, n.Ref)
+		}
+	}
+	return c.closure(roots)
+}
+
+// FullClosureFor returns every version of path's object plus its complete
+// ancestor closure — recorded or not — in the canonical ancestors-first
+// order (root versions oldest first, parents visited in ref-string order).
+// The storage layer hashes this closure into the Merkle digest that reading
+// clients verify ancestry against; the reader reconstructs the same order
+// from the recorded provenance.
+func (c *Collector) FullClosureFor(path string) []prov.Bundle {
+	st, ok := c.files[path]
+	if !ok {
+		return nil
+	}
+	var order []prov.Bundle
+	state := make(map[prov.Ref]int)
+	var visit func(prov.Ref)
+	visit = func(r prov.Ref) {
+		state[r] = 1
+		n := c.graph.Node(r)
+		if n == nil {
+			return
+		}
+		parents := c.graph.Parents(r)
+		sort.Slice(parents, func(i, j int) bool { return parents[i].String() < parents[j].String() })
+		for _, p := range parents {
+			if state[p] == 0 {
+				visit(p)
+			}
+		}
+		state[r] = 2
+		order = append(order, n.Bundle())
+	}
+	for v := 1; v <= st.ref.Version; v++ {
+		r := prov.Ref{UUID: st.ref.UUID, Version: v}
+		if state[r] == 0 && c.graph.Node(r) != nil {
+			visit(r)
+		}
+	}
+	return order
+}
+
+// closure expands roots with their unrecorded ancestors in topological
+// (ancestors-first) order.
+func (c *Collector) closure(roots []prov.Ref) []prov.Bundle {
+	var order []prov.Ref
+	state := make(map[prov.Ref]int)
+	var visit func(prov.Ref)
+	visit = func(r prov.Ref) {
+		state[r] = 1
+		parents := c.graph.Parents(r)
+		sort.Slice(parents, func(i, j int) bool { return parents[i].String() < parents[j].String() })
+		for _, p := range parents {
+			if state[p] == 0 && !c.recorded[p] && c.graph.Node(p) != nil {
+				visit(p)
+			}
+		}
+		state[r] = 2
+		order = append(order, r)
+	}
+	for _, r := range roots {
+		if state[r] == 0 {
+			visit(r)
+		}
+	}
+	bundles := make([]prov.Bundle, 0, len(order))
+	for _, r := range order {
+		bundles = append(bundles, c.graph.Node(r).Bundle())
+	}
+	return bundles
+}

@@ -1,0 +1,162 @@
+package prov
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format. P1 stores the provenance of an object as an S3 object whose
+// content is a concatenation of encoded bundles (one per version, appended
+// as versions accrue). P3 chunks the same encoding into 8 KB WAL messages.
+//
+// Layout of one bundle:
+//
+//	magic   uint16  0x5053 ("PS")
+//	uuid    [16]byte
+//	version uvarint
+//	type    byte
+//	name    uvarint-prefixed string
+//	nrec    uvarint
+//	records:
+//	  kind  byte (0 literal, 1 xref)
+//	  attr  uvarint-prefixed string
+//	  literal: value uvarint-prefixed string
+//	  xref:    uuid [16]byte + version uvarint
+
+const bundleMagic = 0x5053
+
+// ErrCorrupt reports an undecodable provenance payload.
+var ErrCorrupt = errors.New("prov: corrupt wire data")
+
+// AppendBundle encodes b onto dst and returns the extended slice.
+func AppendBundle(dst []byte, b Bundle) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, bundleMagic)
+	dst = append(dst, b.Ref.UUID[:]...)
+	dst = binary.AppendUvarint(dst, uint64(b.Ref.Version))
+	dst = append(dst, byte(b.Type))
+	dst = appendString(dst, b.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Records)))
+	for _, r := range b.Records {
+		if r.IsXref() {
+			dst = append(dst, 1)
+			dst = appendString(dst, r.Attr)
+			dst = append(dst, r.Xref.UUID[:]...)
+			dst = binary.AppendUvarint(dst, uint64(r.Xref.Version))
+		} else {
+			dst = append(dst, 0)
+			dst = appendString(dst, r.Attr)
+			dst = appendString(dst, r.Value)
+		}
+	}
+	return dst
+}
+
+// EncodeBundles encodes a sequence of bundles into one payload.
+func EncodeBundles(bs []Bundle) []byte {
+	var dst []byte
+	for _, b := range bs {
+		dst = AppendBundle(dst, b)
+	}
+	return dst
+}
+
+// DecodeBundles decodes every bundle in data.
+func DecodeBundles(data []byte) ([]Bundle, error) {
+	var out []Bundle
+	for len(data) > 0 {
+		b, rest, err := decodeOne(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+		data = rest
+	}
+	return out, nil
+}
+
+func decodeOne(data []byte) (Bundle, []byte, error) {
+	var b Bundle
+	if len(data) < 2+16+1 {
+		return b, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if binary.BigEndian.Uint16(data) != bundleMagic {
+		return b, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	data = data[2:]
+	copy(b.Ref.UUID[:], data[:16])
+	data = data[16:]
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return b, nil, fmt.Errorf("%w: bad version", ErrCorrupt)
+	}
+	b.Ref.Version = int(v)
+	data = data[n:]
+	if len(data) < 1 {
+		return b, nil, fmt.Errorf("%w: missing type", ErrCorrupt)
+	}
+	b.Type = ObjectType(data[0])
+	data = data[1:]
+	var err error
+	if b.Name, data, err = readString(data); err != nil {
+		return b, nil, err
+	}
+	nrec, n := binary.Uvarint(data)
+	if n <= 0 {
+		return b, nil, fmt.Errorf("%w: bad record count", ErrCorrupt)
+	}
+	data = data[n:]
+	if nrec > 1<<24 {
+		return b, nil, fmt.Errorf("%w: absurd record count %d", ErrCorrupt, nrec)
+	}
+	b.Records = make([]Record, 0, nrec)
+	for i := uint64(0); i < nrec; i++ {
+		if len(data) < 1 {
+			return b, nil, fmt.Errorf("%w: truncated record", ErrCorrupt)
+		}
+		kind := data[0]
+		data = data[1:]
+		var rec Record
+		if rec.Attr, data, err = readString(data); err != nil {
+			return b, nil, err
+		}
+		switch kind {
+		case 0:
+			if rec.Value, data, err = readString(data); err != nil {
+				return b, nil, err
+			}
+		case 1:
+			if len(data) < 16 {
+				return b, nil, fmt.Errorf("%w: truncated xref", ErrCorrupt)
+			}
+			copy(rec.Xref.UUID[:], data[:16])
+			data = data[16:]
+			xv, n := binary.Uvarint(data)
+			if n <= 0 {
+				return b, nil, fmt.Errorf("%w: bad xref version", ErrCorrupt)
+			}
+			rec.Xref.Version = int(xv)
+			data = data[n:]
+			if rec.Xref.IsZero() {
+				return b, nil, fmt.Errorf("%w: zero xref", ErrCorrupt)
+			}
+		default:
+			return b, nil, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+		}
+		b.Records = append(b.Records, rec)
+	}
+	return b, data, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return "", nil, fmt.Errorf("%w: truncated string", ErrCorrupt)
+	}
+	return string(data[n : n+int(l)]), data[n+int(l):], nil
+}

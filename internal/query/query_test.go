@@ -1,0 +1,214 @@
+package query
+
+import (
+	"testing"
+
+	"passcloud/internal/core"
+	"passcloud/internal/pasfs"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+	"passcloud/internal/trace"
+)
+
+// miniBlast builds a small three-batch blast-shaped deployment under the
+// given protocol and returns the deployment plus the collector.
+func miniBlast(t *testing.T, mk func(*core.Deployment) core.Protocol) (*core.Deployment, *pass.Collector, core.Protocol) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	env := sim.NewEnv(cfg)
+	dep := core.NewDeployment(env)
+	proto := mk(dep)
+	col := pass.New(env.Rand(), nil)
+	fs := pasfs.New(env, proto, col, pasfs.Config{Collect: true, AsyncCommits: false})
+
+	b := trace.NewBuilder()
+	for i := 0; i < 3; i++ {
+		raw := "mnt/work/raw" + string(rune('0'+i))
+		rep := "mnt/out/hits" + string(rune('0'+i))
+		blast := b.Spawn(0, "/usr/bin/blastall", "blastall")
+		b.Read(blast, "db/nr.fmt", 1024)
+		b.Write(blast, raw, 2048).Close(blast, raw)
+		fmtr := b.Spawn(0, "/usr/bin/blastfmt", "blastfmt")
+		b.Read(fmtr, raw, 2048).Write(fmtr, rep, 512).Close(fmtr, rep)
+	}
+	if err := fs.Run(b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	dep.Settle()
+	return dep, col, proto
+}
+
+func backendsUnderTest() []struct {
+	name    string
+	mk      func(*core.Deployment) core.Protocol
+	backend core.Backend
+} {
+	return []struct {
+		name    string
+		mk      func(*core.Deployment) core.Protocol
+		backend core.Backend
+	}{
+		{"S3", func(d *core.Deployment) core.Protocol { return core.NewP1(d, core.Options{}) }, core.BackendS3},
+		{"SimpleDB", func(d *core.Deployment) core.Protocol { return core.NewP3(d, core.Options{}) }, core.BackendSDB},
+	}
+}
+
+func TestQ1ReturnsEverything(t *testing.T) {
+	for _, tc := range backendsUnderTest() {
+		t.Run(tc.name, func(t *testing.T) {
+			dep, col, _ := miniBlast(t, tc.mk)
+			e := New(dep, tc.backend)
+			bundles, m, err := e.AllProvenance(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := col.Graph().Len()
+			if len(bundles) != want {
+				t.Fatalf("Q1 returned %d bundles, collector has %d nodes", len(bundles), want)
+			}
+			if m.Ops == 0 || m.Bytes == 0 || m.Elapsed <= 0 {
+				t.Fatalf("metrics not recorded: %+v", m)
+			}
+		})
+	}
+}
+
+func TestQ1ParallelFasterOnS3(t *testing.T) {
+	// In manual-clock mode concurrent sleeps accumulate, so compare op
+	// counts instead: the parallel plan must not change requests issued.
+	dep, _, _ := miniBlast(t, backendsUnderTest()[0].mk)
+	e := New(dep, core.BackendS3)
+	_, seq, err := e.AllProvenance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := e.AllProvenance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Ops != par.Ops || seq.Bytes != par.Bytes {
+		t.Fatalf("parallelism changed work: %+v vs %+v", seq, par)
+	}
+}
+
+func TestQ2ObjectProvenance(t *testing.T) {
+	for _, tc := range backendsUnderTest() {
+		t.Run(tc.name, func(t *testing.T) {
+			dep, col, _ := miniBlast(t, tc.mk)
+			e := New(dep, tc.backend)
+			bundles, m, err := e.ObjectProvenance("mnt/out/hits1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, _ := col.FileRef("mnt/out/hits1")
+			found := false
+			for _, b := range bundles {
+				if b.Ref == ref {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("Q2 missed the object's own bundle (%d bundles)", len(bundles))
+			}
+			// HEAD + one fetch; the database plan may page.
+			if m.Ops < 2 || m.Ops > 4 {
+				t.Fatalf("Q2 ops = %d, want 2-4", m.Ops)
+			}
+		})
+	}
+}
+
+func TestQ3DirectOutputs(t *testing.T) {
+	for _, tc := range backendsUnderTest() {
+		t.Run(tc.name, func(t *testing.T) {
+			dep, col, _ := miniBlast(t, tc.mk)
+			e := New(dep, tc.backend)
+			refs, _, err := e.DirectOutputsOf("blastall", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The three raw files are the direct outputs.
+			want := make(map[prov.Ref]bool)
+			for _, p := range []string{"mnt/work/raw0", "mnt/work/raw1", "mnt/work/raw2"} {
+				r, ok := col.FileRef(p)
+				if !ok {
+					t.Fatalf("collector lost %s", p)
+				}
+				want[r] = true
+			}
+			got := make(map[prov.Ref]bool)
+			for _, r := range refs {
+				got[r] = true
+			}
+			for r := range want {
+				if !got[r] {
+					t.Fatalf("Q3 missed %v (got %v)", r, refs)
+				}
+			}
+		})
+	}
+}
+
+func TestQ4Descendants(t *testing.T) {
+	for _, tc := range backendsUnderTest() {
+		t.Run(tc.name, func(t *testing.T) {
+			dep, col, _ := miniBlast(t, tc.mk)
+			e := New(dep, tc.backend)
+			refs, _, err := e.DescendantsOf("blastall", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[prov.Ref]bool)
+			for _, r := range refs {
+				got[r] = true
+			}
+			// Final reports are transitive descendants of blastall.
+			for _, p := range []string{"mnt/out/hits0", "mnt/out/hits1", "mnt/out/hits2"} {
+				r, _ := col.FileRef(p)
+				if !got[r] {
+					t.Fatalf("Q4 missed descendant %s", p)
+				}
+			}
+			// Q4 must be a superset of Q3.
+			q3, _, _ := e.DirectOutputsOf("blastall", 4)
+			for _, r := range q3 {
+				if !got[r] {
+					t.Fatalf("Q4 missing Q3 result %v", r)
+				}
+			}
+		})
+	}
+}
+
+func TestSDBCheaperThanS3ForSearchQueries(t *testing.T) {
+	// The Table-5 asymmetry: on Q3 the S3 plan's request count scales with
+	// the number of provenance objects, the database plan's does not.
+	depS3, _, _ := miniBlast(t, backendsUnderTest()[0].mk)
+	depDB, _, _ := miniBlast(t, backendsUnderTest()[1].mk)
+	_, mS3, err := New(depS3, core.BackendS3).DirectOutputsOf("blastall", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mDB, err := New(depDB, core.BackendSDB).DirectOutputsOf("blastall", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mDB.Ops >= mS3.Ops {
+		t.Fatalf("SimpleDB plan (%d ops) should beat S3 scan (%d ops)", mDB.Ops, mS3.Ops)
+	}
+	if mDB.Bytes >= mS3.Bytes {
+		t.Fatalf("SimpleDB plan (%d B) should move less than S3 scan (%d B)", mDB.Bytes, mS3.Bytes)
+	}
+}
+
+func TestQ2FailsOnUnknownObject(t *testing.T) {
+	dep, _, _ := miniBlast(t, backendsUnderTest()[1].mk)
+	e := New(dep, core.BackendSDB)
+	if _, _, err := e.ObjectProvenance("mnt/out/never-existed"); err == nil {
+		t.Fatal("Q2 on missing object succeeded")
+	}
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CostClass buckets requests by how AWS billed them in 2009/2010.
+type CostClass uint8
+
+// Billing classes.
+const (
+	CostFree  CostClass = iota // e.g. S3 DELETE
+	CostS3Put                  // S3 PUT/COPY/POST/LIST: $0.01 per 1,000
+	CostS3Get                  // S3 GET/HEAD: $0.01 per 10,000
+	CostSQS                    // SQS requests: $0.01 per 10,000
+	CostSDB                    // SimpleDB requests (billed via machine hours)
+	numCostClasses
+)
+
+// String names the billing class.
+func (c CostClass) String() string {
+	switch c {
+	case CostFree:
+		return "free"
+	case CostS3Put:
+		return "s3-put-like"
+	case CostS3Get:
+		return "s3-get-like"
+	case CostSQS:
+		return "sqs-request"
+	case CostSDB:
+		return "sdb-request"
+	}
+	return "unknown"
+}
+
+// The 2009/2010 AWS price sheet used throughout the evaluation.
+const (
+	PriceS3PutPer1000  = 0.01 // USD per 1,000 PUT/COPY/POST/LIST requests
+	PriceS3GetPer10000 = 0.01 // USD per 10,000 GET/HEAD requests
+	PriceSQSPer10000   = 0.01 // USD per 10,000 queue requests
+	PriceSDBMachineHr  = 0.14 // USD per SimpleDB machine hour
+	PriceXferInPerGB   = 0.10 // USD per GB transferred into AWS
+	PriceXferOutPerGB  = 0.17 // USD per GB transferred out of AWS
+	PriceStoragePerGBM = 0.15 // USD per GB-month of S3 storage
+)
+
+// Meter accumulates requests, transfer and storage so a run's dollar cost
+// can be reported the way Table 4 does.
+type Meter struct {
+	mu          sync.Mutex
+	requests    [numCostClasses]int64
+	machineSec  float64
+	bytesIn     int64
+	bytesOut    int64
+	stored      int64 // current storage footprint (bytes)
+	peakStored  int64
+	opsByKind   map[string]int64
+	opsTotal    int64
+	bytesByKind map[string]int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{opsByKind: make(map[string]int64), bytesByKind: make(map[string]int64)}
+}
+
+// CountRequest records n billed requests of class c.
+func (m *Meter) CountRequest(c CostClass, n int64) {
+	m.mu.Lock()
+	m.requests[c] += n
+	m.opsTotal += n
+	m.mu.Unlock()
+}
+
+// CountOp records one op of a named kind for per-op reporting (Table 3).
+func (m *Meter) CountOp(kind string, payload int64) {
+	m.mu.Lock()
+	m.opsByKind[kind]++
+	m.bytesByKind[kind] += payload
+	m.mu.Unlock()
+}
+
+// AddMachineSeconds records SimpleDB machine-seconds consumed.
+func (m *Meter) AddMachineSeconds(s float64) {
+	m.mu.Lock()
+	m.machineSec += s
+	m.mu.Unlock()
+}
+
+// AddTransferIn records bytes sent into the cloud.
+func (m *Meter) AddTransferIn(n int64) {
+	m.mu.Lock()
+	m.bytesIn += n
+	m.mu.Unlock()
+}
+
+// AddTransferOut records bytes served out of the cloud.
+func (m *Meter) AddTransferOut(n int64) {
+	m.mu.Lock()
+	m.bytesOut += n
+	m.mu.Unlock()
+}
+
+// AddStorage adjusts the current storage footprint by delta bytes.
+func (m *Meter) AddStorage(delta int64) {
+	m.mu.Lock()
+	m.stored += delta
+	if m.stored > m.peakStored {
+		m.peakStored = m.stored
+	}
+	m.mu.Unlock()
+}
+
+// Usage is a point-in-time summary of everything the meter has seen.
+type Usage struct {
+	Requests    map[CostClass]int64
+	TotalOps    int64
+	MachineSec  float64
+	BytesIn     int64
+	BytesOut    int64
+	Stored      int64
+	PeakStored  int64
+	OpsByKind   map[string]int64
+	BytesByKind map[string]int64
+}
+
+// Usage returns a copy of the meter's counters.
+func (m *Meter) Usage() Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u := Usage{
+		Requests:    make(map[CostClass]int64, numCostClasses),
+		TotalOps:    m.opsTotal,
+		MachineSec:  m.machineSec,
+		BytesIn:     m.bytesIn,
+		BytesOut:    m.bytesOut,
+		Stored:      m.stored,
+		PeakStored:  m.peakStored,
+		OpsByKind:   make(map[string]int64, len(m.opsByKind)),
+		BytesByKind: make(map[string]int64, len(m.bytesByKind)),
+	}
+	for c := CostClass(0); c < numCostClasses; c++ {
+		if m.requests[c] != 0 {
+			u.Requests[c] = m.requests[c]
+		}
+	}
+	for k, v := range m.opsByKind {
+		u.OpsByKind[k] = v
+	}
+	for k, v := range m.bytesByKind {
+		u.BytesByKind[k] = v
+	}
+	return u
+}
+
+// Cost converts usage into dollars, billing storage for the given window
+// (zero bills requests and transfer only, matching Table 4's emphasis).
+func (u Usage) Cost(storageWindow time.Duration) float64 {
+	const gb = 1 << 30
+	cost := float64(u.Requests[CostS3Put]) / 1000 * PriceS3PutPer1000
+	cost += float64(u.Requests[CostS3Get]) / 10000 * PriceS3GetPer10000
+	cost += float64(u.Requests[CostSQS]) / 10000 * PriceSQSPer10000
+	cost += u.MachineSec / 3600 * PriceSDBMachineHr
+	cost += float64(u.BytesIn) / gb * PriceXferInPerGB
+	cost += float64(u.BytesOut) / gb * PriceXferOutPerGB
+	if storageWindow > 0 {
+		months := storageWindow.Hours() / (30 * 24)
+		cost += float64(u.PeakStored) / gb * PriceStoragePerGBM * months
+	}
+	return cost
+}
+
+// String renders the usage as a short human-readable summary.
+func (u Usage) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops=%d in=%.2fMB out=%.2fMB sdb=%.1fms stored=%.2fMB",
+		u.TotalOps, mb(u.BytesIn), mb(u.BytesOut), u.MachineSec*1000, mb(u.Stored))
+	if len(u.OpsByKind) > 0 {
+		kinds := make([]string, 0, len(u.OpsByKind))
+		for k := range u.OpsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, u.OpsByKind[k])
+		}
+	}
+	return b.String()
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }

@@ -1,0 +1,326 @@
+// Package sim provides the simulation substrate shared by the simulated
+// cloud services: a virtual clock, a calibrated latency and throughput model
+// for each service, a cost meter implementing the 2009/2010 AWS price sheet,
+// and a deterministic seeded random source.
+//
+// Everything in this repository that "talks to the cloud" routes each
+// request through Env.Exec, which charges the request against the latency
+// model (base latency, payload transfer time, per-host rate gates) and the
+// cost meter. Experiments run the environment in live mode (virtual time is
+// wall time multiplied by Config.TimeScale) so that concurrency effects are
+// real; unit tests run in manual mode (TimeScale 0) where sleeps advance a
+// logical clock instantly.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Service identifies one of the simulated cloud services.
+type Service uint8
+
+// The three services used by the paper's protocols.
+const (
+	S3  Service = iota // object store (Amazon S3)
+	SDB                // database service (Amazon SimpleDB)
+	SQS                // messaging service (Amazon SQS)
+	numServices
+)
+
+// String returns the conventional service name.
+func (s Service) String() string {
+	switch s {
+	case S3:
+		return "S3"
+	case SDB:
+		return "SimpleDB"
+	case SQS:
+		return "SQS"
+	}
+	return fmt.Sprintf("Service(%d)", uint8(s))
+}
+
+// Site is where the client (the PASS/PA-S3fs host) runs. The paper evaluates
+// both an EC2 instance in the same region as the services and a local
+// machine across a WAN.
+type Site uint8
+
+// Client locations from the evaluation.
+const (
+	SiteEC2   Site = iota // client on an EC2 instance near the services
+	SiteLocal             // client on a local machine across the WAN
+)
+
+// String returns the site name used in the paper's figures.
+func (s Site) String() string {
+	if s == SiteLocal {
+		return "Local"
+	}
+	return "EC2"
+}
+
+// Era selects the service-performance snapshot. The paper reports results
+// from September 2009 and from December 2009/January 2010 and observes that
+// AWS got 4-44% faster between the two.
+type Era uint8
+
+// Measurement eras from the evaluation.
+const (
+	EraSept09 Era = iota // September 2009 service performance
+	EraDec09             // December 2009 / January 2010 service performance
+)
+
+// String returns the era label used in the paper's figures.
+func (e Era) String() string {
+	if e == EraDec09 {
+		return "Dec09"
+	}
+	return "Sept09"
+}
+
+// Consistency selects the consistency model the services provide. AWS is
+// eventually consistent; Azure is strict. The protocols are designed for the
+// weaker (eventual) model.
+type Consistency uint8
+
+// Consistency models.
+const (
+	Eventual Consistency = iota // AWS-style eventual consistency
+	Strict                      // Azure-style strict consistency
+)
+
+// String names the consistency model.
+func (c Consistency) String() string {
+	if c == Strict {
+		return "strict"
+	}
+	return "eventual"
+}
+
+// Config holds every knob of a simulated environment.
+type Config struct {
+	// Seed makes the run deterministic (staleness sampling, jitter, uuids).
+	Seed int64
+
+	// TimeScale is the number of simulated seconds that elapse per real
+	// second in live mode. Zero selects manual mode: sleeps advance a
+	// logical clock without blocking, which is what unit tests want.
+	TimeScale float64
+
+	// Site is the client location (EC2 or local/WAN).
+	Site Site
+
+	// Era selects the September-2009 or December-2009 service speeds.
+	Era Era
+
+	// UML applies the User-Mode-Linux client-side I/O penalty the paper
+	// measured (each file-system operation and each MB moved costs extra
+	// client time under UML).
+	UML bool
+
+	// Consistency selects eventual (AWS) or strict (Azure) semantics.
+	Consistency Consistency
+
+	// StalenessMean is the mean of the exponential staleness window used
+	// by eventually consistent reads. Zero uses DefaultStalenessMean.
+	StalenessMean time.Duration
+
+	// DupProb is the probability that the queue delivers a message twice
+	// (at-least-once delivery). Zero disables duplication.
+	DupProb float64
+
+	// StorageWindow is how long stored bytes are billed for when costs are
+	// reported (S3 bills per GB-month). Zero bills no storage time, which
+	// matches the request+transfer dominated costs in the paper's Table 4.
+	StorageWindow time.Duration
+}
+
+// DefaultStalenessMean is the mean eventual-consistency staleness window.
+const DefaultStalenessMean = 700 * time.Millisecond
+
+// DefaultConfig returns a deterministic manual-clock configuration suitable
+// for tests: eventual consistency, September-2009 era, EC2 site.
+func DefaultConfig() Config {
+	return Config{Seed: 1, TimeScale: 0, Site: SiteEC2, Era: EraSept09, Consistency: Eventual}
+}
+
+// Env is one simulated deployment: a clock, a latency model, a cost meter
+// and a random source, shared by the client and every service endpoint.
+type Env struct {
+	cfg   Config
+	clock *Clock
+	meter *Meter
+	rnd   *Rand
+	model Model
+
+	gates [numGates]gate
+	netmu sync.Mutex // guards hostNet
+	// hostNet is the virtual time at which the host NIC frees up; bulk
+	// transfers space their admissions so aggregate bandwidth stays below
+	// the host cap.
+	hostNet time.Duration
+}
+
+// NewEnv creates an environment from cfg, filling defaults.
+func NewEnv(cfg Config) *Env {
+	if cfg.StalenessMean == 0 {
+		cfg.StalenessMean = DefaultStalenessMean
+	}
+	e := &Env{
+		cfg:   cfg,
+		clock: NewClock(cfg.TimeScale),
+		meter: NewMeter(),
+		rnd:   NewRand(cfg.Seed),
+		model: ModelFor(cfg),
+	}
+	for i := range e.gates {
+		e.gates[i].interval = e.model.gateInterval(gateID(i))
+	}
+	return e
+}
+
+// Config returns the environment's configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Clock returns the environment's virtual clock.
+func (e *Env) Clock() *Clock { return e.clock }
+
+// Meter returns the cost meter.
+func (e *Env) Meter() *Meter { return e.meter }
+
+// Rand returns the deterministic random source.
+func (e *Env) Rand() *Rand { return e.rnd }
+
+// Model returns the latency model in effect.
+func (e *Env) Model() Model { return e.model }
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.clock.Now() }
+
+// Compute charges d of client compute time (application work between I/O).
+func (e *Env) Compute(d time.Duration) {
+	if d > 0 {
+		e.clock.Sleep(d)
+	}
+}
+
+// ClientOp charges the client-side cost of one file-system operation that
+// moved nbytes of data. Under UML this is where the paper's measured UML
+// penalty (per-op and per-MB) is applied.
+func (e *Env) ClientOp(nbytes int) {
+	if d := e.ClientOpCost(nbytes); d > 0 {
+		e.clock.Sleep(d)
+	}
+}
+
+// ClientOpCost returns the client-side cost of one fs operation without
+// sleeping it; callers that process very many operations accumulate the
+// cost and sleep it in coarse chunks so live-mode timer noise cannot pile
+// up across tens of thousands of tiny sleeps.
+func (e *Env) ClientOpCost(nbytes int) time.Duration {
+	d := e.model.ClientPerOp
+	if e.cfg.UML {
+		d += umlPerOp + time.Duration(float64(nbytes)*umlPerByteNs)*time.Nanosecond
+	}
+	return d
+}
+
+// StalenessWindow samples the staleness window for one freshly written
+// datum: the duration during which eventually consistent reads may still
+// observe the previous state. Strict mode always returns zero.
+func (e *Env) StalenessWindow() time.Duration {
+	if e.cfg.Consistency == Strict {
+		return 0
+	}
+	return e.rnd.Exp(e.cfg.StalenessMean)
+}
+
+// Exec performs one simulated service request of kind op carrying a payload
+// of nbytes (request body for writes, response body for reads). It waits for
+// gate admission, sleeps the modelled latency, charges the cost meter, and
+// returns the request's service latency (excluding gate queueing).
+func (e *Env) Exec(op OpKind, nbytes int) time.Duration {
+	spec := opSpecs[op]
+
+	// Per-host request-rate gate: this is what makes S3 saturate around
+	// 150 connections and SimpleDB around 40 in Table 2.
+	if spec.gate != gateNone {
+		e.gates[spec.gate].reserve(e.clock)
+	}
+	// Host NIC gate for bulk transfers.
+	if spec.xfer != xferNone && nbytes > bulkThreshold {
+		e.reserveNet(nbytes)
+	}
+
+	d := e.model.latency(op, nbytes)
+	d += e.rnd.Jitter(d, jitterFrac)
+	e.clock.Sleep(d)
+
+	e.charge(spec, nbytes)
+	return d
+}
+
+// reserveNet spaces bulk transfers so aggregate host throughput stays under
+// the host NIC cap, then waits until this transfer's admission time.
+func (e *Env) reserveNet(nbytes int) {
+	occupancy := time.Duration(float64(nbytes) / e.model.HostNetBps * float64(time.Second))
+	e.netmu.Lock()
+	now := e.clock.Now()
+	start := e.hostNet
+	if start < now {
+		start = now
+	}
+	e.hostNet = start + occupancy
+	e.netmu.Unlock()
+	e.clock.SleepUntil(start)
+}
+
+// charge records the request and its transfer against the cost meter.
+func (e *Env) charge(spec opSpec, nbytes int) {
+	e.meter.CountRequest(spec.cost, 1)
+	if spec.machineSec > 0 {
+		e.meter.AddMachineSeconds(spec.machineSec)
+	}
+	switch spec.xfer {
+	case xferIn:
+		e.meter.AddTransferIn(int64(nbytes))
+	case xferOut:
+		e.meter.AddTransferOut(int64(nbytes))
+	}
+}
+
+// bulkThreshold is the payload size above which a transfer contends for the
+// host NIC; small control requests are not worth spacing.
+const bulkThreshold = 256 << 10
+
+// jitterFrac is the relative latency jitter (the paper stresses that AWS
+// performance is highly variable; a few percent keeps runs realistic while
+// preserving orderings).
+const jitterFrac = 0.04
+
+// gate is a virtual-time request-rate limiter. A gate with interval i admits
+// at most one request per i of virtual time, modelling the per-host service
+// throughput ceiling.
+type gate struct {
+	mu       sync.Mutex
+	interval time.Duration
+	next     time.Duration
+}
+
+// reserve blocks (in virtual time) until the gate admits the caller.
+func (g *gate) reserve(c *Clock) {
+	if g.interval <= 0 {
+		return
+	}
+	g.mu.Lock()
+	now := c.Now()
+	at := g.next
+	if at < now {
+		at = now
+	}
+	g.next = at + g.interval
+	g.mu.Unlock()
+	c.SleepUntil(at)
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuilderProducesOrderedEvents(t *testing.T) {
+	b := NewBuilder()
+	pid := b.Spawn(0, "/bin/cp", "cp", "a", "b")
+	b.Read(pid, "a", 100).Write(pid, "b", 100).Close(pid, "b").Exit(pid)
+	tr := b.Trace()
+	kinds := []Kind{Exec, Read, Write, Close, Exit}
+	if len(tr.Events) != len(kinds) {
+		t.Fatalf("events = %d, want %d", len(tr.Events), len(kinds))
+	}
+	for i, k := range kinds {
+		if tr.Events[i].Kind != k {
+			t.Fatalf("event %d = %v, want %v", i, tr.Events[i].Kind, k)
+		}
+	}
+}
+
+func TestSpawnWithParentEmitsFork(t *testing.T) {
+	b := NewBuilder()
+	parent := b.Spawn(0, "/bin/sh", "sh")
+	child := b.Spawn(parent, "/bin/ls", "ls")
+	if parent == child {
+		t.Fatal("pids collide")
+	}
+	tr := b.Trace()
+	var forked bool
+	for _, e := range tr.Events {
+		if e.Kind == Fork && e.PID == parent && e.Child == child {
+			forked = true
+		}
+	}
+	if !forked {
+		t.Fatal("no fork event for child spawn")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuilder()
+	pid := b.Spawn(0, "/bin/x", "x")
+	b.Read(pid, "in", 1000)
+	b.Write(pid, "out", 500)
+	b.Close(pid, "out")
+	b.Compute(pid, 2*time.Second)
+	s := b.Trace().Stats()
+	if s.FSOps != 3 {
+		t.Fatalf("fsops = %d, want 3", s.FSOps)
+	}
+	if s.BytesRead != 1000 || s.BytesWrite != 500 {
+		t.Fatalf("bytes = %d/%d", s.BytesRead, s.BytesWrite)
+	}
+	if s.Files != 2 || s.Procs != 1 {
+		t.Fatalf("files=%d procs=%d", s.Files, s.Procs)
+	}
+	if s.Compute != 2*time.Second {
+		t.Fatalf("compute = %v", s.Compute)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	for _, e := range []Event{
+		{Kind: Exec, PID: 1, Path: "/bin/x", Argv: []string{"x"}},
+		{Kind: Fork, PID: 1, Child: 2},
+		{Kind: Read, PID: 1, Path: "f", Bytes: 10},
+		{Kind: Compute, PID: 1, Dur: time.Second},
+		{Kind: Close, PID: 1, Path: "f"},
+	} {
+		if e.String() == "" {
+			t.Fatalf("empty String for %v", e.Kind)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package passcloud is a from-scratch reproduction of "Provenance for the
+// Cloud" (Muniswamy-Reddy, Macko, Seltzer; FAST 2010).
+//
+// The paper layers a Provenance-Aware Storage System (PASS) on top of cloud
+// services and proposes three protocols for recording data together with its
+// provenance:
+//
+//   - P1 stores both data and provenance in a cloud object store (S3).
+//   - P2 stores data in the object store and provenance in a cloud database
+//     (SimpleDB).
+//   - P3 adds a cloud queue (SQS) used as a write-ahead log so that data and
+//     provenance are eventually coupled.
+//
+// The implementation lives under internal/:
+//
+//   - internal/sim        simulation substrate (clock, latency, cost, faults)
+//   - internal/cloud/...  simulated S3, SimpleDB and SQS services
+//   - internal/prov       the provenance DAG model and wire format
+//   - internal/trace      system-call traces driving collection
+//   - internal/pass       the PASS collector (versioning, cycle avoidance)
+//   - internal/pasfs      the PA-S3fs client layer
+//   - internal/core       the three protocols, daemons and property checks
+//   - internal/query      the Q1..Q4 query engine from the evaluation
+//   - internal/workload   the nightly/Blast/challenge workload generators
+//   - internal/bench      drivers that regenerate every table and figure
+//
+// The root package only anchors repository-level benchmarks (bench_test.go);
+// see README.md and DESIGN.md for the system map.
+package passcloud
+
+// Version identifies this reproduction build.
+const Version = "1.0.0"
