@@ -9,7 +9,9 @@
 package passcloud
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"passcloud/internal/bench"
@@ -93,6 +95,64 @@ func BenchmarkTable5Queries(b *testing.B) {
 		}
 		for _, r := range rows {
 			b.ReportMetric(r.Sequential.Seconds(), fmt.Sprintf("sim-s-%s-%s", r.Query, r.Backend))
+		}
+	}
+}
+
+// BenchmarkBigQueryIndexed runs the large-N (100k-item) Table-5-style query
+// set through the indexed SELECT engine and through the seed's full-scan
+// path, reports the simulated times, and records the comparison in
+// BENCH_indexed_select.json at the repository root.
+func BenchmarkBigQueryIndexed(b *testing.B) {
+	const (
+		items  = 100_000
+		chains = 64
+		depth  = 12
+	)
+	for i := 0; i < b.N; i++ {
+		indexed, err := bench.BigQuery(21, items, chains, depth, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scan, err := bench.BigQuery(21, items, chains, depth, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		type speedup struct {
+			Sim  float64 `json:"sim"`
+			Wall float64 `json:"wall"`
+		}
+		speedups := make(map[string]speedup, len(indexed.Cells)+1)
+		var totIdx, totScan speedup
+		// The ≥10x acceptance gate lives in TestBigQueryIndexSpeedup; the
+		// benchmark only measures and records, so a regression still gets
+		// written to the JSON instead of aborting the run.
+		for _, ci := range indexed.Cells {
+			cs := scan.Cell(ci.Query)
+			speedups[ci.Query] = speedup{
+				Sim:  cs.SimSeconds / ci.SimSeconds,
+				Wall: cs.WallSeconds / ci.WallSeconds,
+			}
+			totIdx.Sim += ci.SimSeconds
+			totIdx.Wall += ci.WallSeconds
+			totScan.Sim += cs.SimSeconds
+			totScan.Wall += cs.WallSeconds
+			b.ReportMetric(ci.SimSeconds, "sim-s-idx-"+ci.Query)
+			b.ReportMetric(cs.SimSeconds, "sim-s-scan-"+ci.Query)
+		}
+		speedups["total"] = speedup{Sim: totScan.Sim / totIdx.Sim, Wall: totScan.Wall / totIdx.Wall}
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkBigQueryIndexed",
+			"command":   "go test -run=- -bench=BenchmarkBigQueryIndexed -benchtime=1x",
+			"indexed":   indexed,
+			"scan":      scan,
+			"speedup":   speedups,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_indexed_select.json", out, 0o644); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

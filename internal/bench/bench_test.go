@@ -14,6 +14,10 @@ import (
 // verifying the paper-shaped relationships (orderings, not absolute
 // values). Ordering margins in the experiments are ≥25%, comfortably above
 // the timer noise the higher scale introduces.
+//
+// Everything live-scaled or large-N is gated behind testing.Short():
+// `go test -short` runs only the manual-clock (instant) tests, keeping the
+// package under a second; the full suite takes ~30s.
 
 const testScale = 600
 
@@ -133,6 +137,9 @@ func TestRunWorkloadSmall(t *testing.T) {
 }
 
 func TestChunkSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-scaled experiment")
+	}
 	points, err := ChunkSweep(7, testScale, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +157,9 @@ func TestChunkSweepShape(t *testing.T) {
 }
 
 func TestBatchSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-scaled experiment")
+	}
 	points, err := BatchSweep(7, testScale, []int{1, 25})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,13 @@
 // objects), BatchPutAttributes accepts at most 25 items per call, and SELECT
 // responses are paginated. Reads are eventually consistent unless the
 // environment runs in strict mode.
+//
+// Like the real service, every attribute is indexed on write: SELECT
+// resolves equality, IN, prefix and range predicates through per-attribute
+// secondary indexes (index.go) chosen by a small planner (plan.go), and
+// falls back to a streaming scan of the sorted name table otherwise. Index
+// candidates are re-validated against the version each read observes, so
+// eventual-consistency semantics are identical on both access paths.
 package sdb
 
 import (
@@ -80,14 +87,36 @@ type Domain struct {
 	env  *sim.Env
 	name string
 
-	mu     sync.Mutex
-	items  map[string][]*itemVersion
-	sorted []string // cached sorted item names; nil when stale
+	mu        sync.Mutex
+	items     map[string][]*itemVersion
+	sorted    []string              // cached sorted item names; nil when stale
+	idx       map[string]*attrIndex // per-attribute secondary indexes
+	forceScan bool                  // ablation: disable the indexes
+	gen       uint64                // write generation; invalidates cached plans
+	lastPlan  planCache             // resolved candidates of the latest query
+
+	pmu   sync.Mutex
+	plans map[string]*Query // parsed-query cache keyed by expression
 }
 
 // New creates an empty domain.
 func New(env *sim.Env, name string) *Domain {
-	return &Domain{env: env, name: name, items: make(map[string][]*itemVersion)}
+	return &Domain{
+		env:   env,
+		name:  name,
+		items: make(map[string][]*itemVersion),
+		idx:   make(map[string]*attrIndex),
+		plans: make(map[string]*Query),
+	}
+}
+
+// SetForceScan disables the secondary indexes so every SELECT walks the
+// full item table — the unindexed behaviour of the seed implementation,
+// kept as an ablation knob for the indexed-vs-scan benchmarks.
+func (d *Domain) SetForceScan(v bool) {
+	d.mu.Lock()
+	d.forceScan = v
+	d.mu.Unlock()
 }
 
 // sortedNamesLocked returns (building if needed) the sorted name index.
@@ -161,6 +190,7 @@ func (d *Domain) BatchPutAttributes(reqs []PutRequest) error {
 
 // applyLocked commits one put as a new item version.
 func (d *Domain) applyLocked(req PutRequest) {
+	d.gen++
 	now := d.env.Now()
 	hist := d.items[req.Item]
 	if len(hist) == 0 {
@@ -187,8 +217,12 @@ func (d *Domain) applyLocked(req PutRequest) {
 	next = append(next, req.Attrs...)
 	v := &itemVersion{attrs: next, committed: now, visibleAt: now + d.env.StalenessWindow()}
 	if n := len(hist); n > 1 {
+		for _, old := range hist[:n-1] {
+			d.indexRemoveLocked(req.Item, old.attrs)
+		}
 		hist = hist[n-1:]
 	}
+	d.indexAddLocked(req.Item, v.attrs)
 	d.items[req.Item] = append(hist, v)
 }
 
@@ -239,8 +273,12 @@ func (d *Domain) DeleteAttributes(item string) error {
 	now := d.env.Now()
 	d.mu.Lock()
 	if len(d.items[item]) > 0 {
+		d.gen++
 		hist := d.items[item]
 		if n := len(hist); n > 1 {
+			for _, old := range hist[:n-1] {
+				d.indexRemoveLocked(item, old.attrs)
+			}
 			hist = hist[n-1:]
 		}
 		d.items[item] = append(hist, &itemVersion{deleted: true, committed: now, visibleAt: now + d.env.StalenessWindow()})
@@ -256,38 +294,68 @@ type SelectPage struct {
 	Bytes     int // response payload size
 }
 
+// maxCachedPlans bounds the parsed-query cache. Query workloads reuse a
+// handful of expression shapes (every page of a SelectAll, every level of a
+// BFS traversal), so a small cache suffices.
+const maxCachedPlans = 256
+
+// cachedParse returns the parsed form of expr, parsing at most once per
+// distinct expression.
+func (d *Domain) cachedParse(expr string) (*Query, error) {
+	d.pmu.Lock()
+	q, ok := d.plans[expr]
+	d.pmu.Unlock()
+	if ok {
+		return q, nil
+	}
+	parsed, err := ParseSelect(expr)
+	if err != nil {
+		return nil, err
+	}
+	d.pmu.Lock()
+	if len(d.plans) >= maxCachedPlans {
+		for k := range d.plans { // evict an arbitrary entry
+			delete(d.plans, k)
+			break
+		}
+	}
+	d.plans[expr] = &parsed
+	d.pmu.Unlock()
+	return &parsed, nil
+}
+
 // Select runs a SELECT expression (see package documentation for the
 // supported grammar) returning one page; pass the previous page's NextToken
 // to continue. Each page is one billed request.
 func (d *Domain) Select(expr, nextToken string) (SelectPage, error) {
-	q, err := ParseSelect(expr)
+	q, err := d.cachedParse(expr)
 	if err != nil {
 		return SelectPage{}, err
 	}
+	return d.selectPage(q, nextToken)
+}
+
+// SelectQuery runs a programmatically built query (see the predicate
+// constructors in select.go) returning one page. Callers that issue the
+// same query shape repeatedly — BFS traversals rebinding IN values per
+// level — reuse one Query instead of formatting and reparsing expressions.
+// Each call resolves its access path afresh; a multi-page drain should use
+// SelectAllQuery (or Select with one expression), which also reuses the
+// resolved candidate list across pages.
+func (d *Domain) SelectQuery(q Query, nextToken string) (SelectPage, error) {
+	return d.selectPage(&q, nextToken)
+}
+
+// selectPage streams one page of results from the query's access path: the
+// planner's index candidates when a secondary index serves the predicate,
+// the sorted name table otherwise. Either way items are visited in
+// ascending name order, resuming from the continuation token, and only the
+// emitted page is copied out of the store.
+func (d *Domain) selectPage(q *Query, nextToken string) (SelectPage, error) {
 	if q.Domain != d.name {
 		return SelectPage{}, fmt.Errorf("sdb: unknown domain %q in select", q.Domain)
 	}
 	now := d.env.Now()
-
-	d.mu.Lock()
-	names := d.sortedNamesLocked()
-	// Skip directly past the continuation token.
-	start := sort.SearchStrings(names, nextToken)
-	if start < len(names) && names[start] == nextToken {
-		start++
-	}
-	var matched []Item
-	for _, name := range names[start:] {
-		v := d.observe(name, now)
-		if v == nil || v.deleted {
-			continue
-		}
-		it := Item{Name: name, Attrs: v.attrs}
-		if q.Where == nil || q.Where.eval(it) {
-			matched = append(matched, Item{Name: name, Attrs: append([]Attr(nil), v.attrs...)})
-		}
-	}
-	d.mu.Unlock()
 
 	// LIMIT caps results per response (SimpleDB semantics); a NextToken
 	// continues the scan on the next request either way.
@@ -295,29 +363,90 @@ func (d *Domain) Select(expr, nextToken string) (SelectPage, error) {
 	if limit <= 0 || limit > MaxSelectPage {
 		limit = MaxSelectPage
 	}
+
+	d.mu.Lock()
+	var names []string
+	indexed := false
+	if q.Where != nil && !d.forceScan {
+		// A paginated drain re-enters with the same *Query per page; reuse
+		// the resolved candidate list until a write invalidates it instead
+		// of re-collecting and re-sorting the candidates once per page.
+		if d.lastPlan.q == q && d.lastPlan.gen == d.gen {
+			names, indexed = d.lastPlan.names, d.lastPlan.indexed
+		} else {
+			names, indexed = d.planLocked(q.Where)
+			d.lastPlan = planCache{q: q, gen: d.gen, names: names, indexed: indexed}
+		}
+	}
+	if !indexed {
+		names = d.sortedNamesLocked()
+	}
+	// Skip directly past the continuation token.
+	start := sort.SearchStrings(names, nextToken)
+	if start < len(names) && names[start] == nextToken {
+		start++
+	}
 	page := SelectPage{}
-	bytes := 0
-	for i, it := range matched {
+	examined, bytes := 0, 0
+	for _, name := range names[start:] {
+		examined++
+		v := d.observe(name, now)
+		if v == nil || v.deleted {
+			continue
+		}
+		it := Item{Name: name, Attrs: v.attrs}
+		if q.Where != nil && !q.Where.eval(it) {
+			continue
+		}
+		// The page is full once the next match arrives past the limit (or
+		// past the byte cap): that match proves more results exist, so the
+		// token points at the last emitted item and the page closes.
+		if len(page.Items) >= limit {
+			page.NextToken = page.Items[len(page.Items)-1].Name
+			break
+		}
 		out := q.project(it)
 		sz := out.size()
-		if len(page.Items) >= limit || (i > 0 && bytes+sz > maxPageBytes) {
+		if len(page.Items) > 0 && bytes+sz > maxPageBytes {
 			page.NextToken = page.Items[len(page.Items)-1].Name
 			break
 		}
 		page.Items = append(page.Items, out)
 		bytes += sz
 	}
+	d.mu.Unlock()
+
 	page.Bytes = bytes
 	d.env.Exec(sim.OpSDBSelect, bytes)
+	// The query engine's work scales with the items the access path
+	// examined — the whole table for a scan, only the predicate's
+	// candidates for an indexed path.
+	if extra := d.env.Model().SelectScanLatency(examined); extra > 0 {
+		d.env.Clock().Sleep(extra)
+	}
 	d.env.Meter().CountOp("sdb.Select", int64(bytes))
 	return page, nil
 }
 
 // SelectAll drains every page of a SELECT and reports the request count.
+// The expression is parsed once, not once per page.
 func (d *Domain) SelectAll(expr string) (items []Item, requests int, bytes int, err error) {
+	q, err := d.cachedParse(expr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return d.selectAll(q)
+}
+
+// SelectAllQuery drains every page of a programmatically built query.
+func (d *Domain) SelectAllQuery(q Query) (items []Item, requests int, bytes int, err error) {
+	return d.selectAll(&q)
+}
+
+func (d *Domain) selectAll(q *Query) (items []Item, requests int, bytes int, err error) {
 	token := ""
 	for {
-		page, err := d.Select(expr, token)
+		page, err := d.selectPage(q, token)
 		if err != nil {
 			return nil, requests, bytes, err
 		}

@@ -15,25 +15,33 @@ import (
 //	clause    := '(' predicate ')'
 //	           | name (=|!=|>|>=|<|<=) 'value'
 //	           | name LIKE 'pattern%'        -- prefix match
+//	           | name IN ('v1', 'v2', ...)
 //	           | name IS NULL | name IS NOT NULL
 //
 // A comparison is true if any value of the (multi-valued) attribute
 // satisfies it, matching SimpleDB semantics. itemName() may be compared too.
+//
+// Queries may also be built programmatically (the predicate constructors Eq,
+// In, Like, Cmp, And, Or) and run with Domain.SelectQuery; repeated callers
+// such as BFS traversals rebind values into one query shape instead of
+// formatting and reparsing an expression per call.
 type Query struct {
 	Domain   string
 	Fields   []string // nil means *
 	ItemOnly bool     // SELECT itemName()
-	Where    *node
+	Where    *Node
 	Limit    int
 }
 
-// project applies the query's field selection to a matched item.
+// project applies the query's field selection to a matched item. The result
+// never aliases the domain's stored attribute slices, so pages can be
+// returned to callers after the domain lock is released.
 func (q Query) project(it Item) Item {
 	if q.ItemOnly {
 		return Item{Name: it.Name}
 	}
 	if q.Fields == nil {
-		return it
+		return Item{Name: it.Name, Attrs: append([]Attr(nil), it.Attrs...)}
 	}
 	keep := make(map[string]bool, len(q.Fields))
 	for _, f := range q.Fields {
@@ -48,19 +56,52 @@ func (q Query) project(it Item) Item {
 	return out
 }
 
-// node is a predicate tree node: either a boolean combinator or a leaf
-// comparison.
-type node struct {
-	op          string // "and", "or", or a comparison operator
-	left, right *node
+// Node is a predicate tree node: either a boolean combinator or a leaf
+// comparison. The parser produces the same structure that the predicate
+// constructors build; a Node must not be mutated while queries using it run.
+type Node struct {
+	op          string // "and", "or", "in", or a comparison operator
+	left, right *Node
 	attr        string
 	value       string
+	values      []string // IN membership list
 	isNull      bool
 	notNull     bool
 }
 
+// ItemNameKey is the pseudo-attribute that compares against the item name.
+const ItemNameKey = "itemName()"
+
+// Eq returns the predicate attr = value.
+func Eq(attr, value string) *Node { return &Node{op: "=", attr: attr, value: value} }
+
+// In returns the predicate attr IN (values...) — equivalent to an OR chain
+// of equalities on one attribute, the shape query fan-out batches use.
+func In(attr string, values ...string) *Node { return &Node{op: "in", attr: attr, values: values} }
+
+// Like returns the predicate attr LIKE pattern ('prefix%' matches prefixes).
+func Like(attr, pattern string) *Node { return &Node{op: "like", attr: attr, value: pattern} }
+
+// Cmp returns the comparison attr <op> value for one of = != > >= < <=.
+// An unknown operator panics: it is a programming error that would
+// otherwise surface as a silently empty result set.
+func Cmp(attr, op, value string) *Node {
+	switch op {
+	case "=", "!=", ">", ">=", "<", "<=":
+	default:
+		panic(fmt.Sprintf("sdb: Cmp called with unknown operator %q", op))
+	}
+	return &Node{op: op, attr: attr, value: value}
+}
+
+// And conjoins two predicates.
+func And(l, r *Node) *Node { return &Node{op: "and", left: l, right: r} }
+
+// Or disjoins two predicates.
+func Or(l, r *Node) *Node { return &Node{op: "or", left: l, right: r} }
+
 // eval evaluates the predicate against one item.
-func (n *node) eval(it Item) bool {
+func (n *Node) eval(it Item) bool {
 	switch n.op {
 	case "and":
 		return n.left.eval(it) && n.right.eval(it)
@@ -81,6 +122,16 @@ func (n *node) eval(it Item) bool {
 		return present
 	}
 	values := itemValues(it, n.attr)
+	if n.op == "in" {
+		for _, v := range values {
+			for _, want := range n.values {
+				if v == want {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	for _, v := range values {
 		if compare(v, n.op, n.value) {
 			return true
@@ -91,7 +142,7 @@ func (n *node) eval(it Item) bool {
 
 // itemValues returns every value of attr on it; itemName() yields the name.
 func itemValues(it Item, attr string) []string {
-	if attr == "itemName()" {
+	if attr == ItemNameKey {
 		return []string{it.Name}
 	}
 	var vs []string
@@ -171,7 +222,7 @@ func lex(s string) []string {
 			// itemName() is one token.
 			if c == '(' && len(toks) > 0 && strings.EqualFold(toks[len(toks)-1], "itemName") &&
 				i+1 < len(s) && s[i+1] == ')' {
-				toks[len(toks)-1] = "itemName()"
+				toks[len(toks)-1] = ItemNameKey
 				i += 2
 				continue
 			}
@@ -238,7 +289,7 @@ func (p *parser) parse() (Query, error) {
 	switch {
 	case p.peek() == "*":
 		p.pos++
-	case p.peek() == "itemName()":
+	case p.peek() == ItemNameKey:
 		q.ItemOnly = true
 		p.pos++
 	default:
@@ -282,7 +333,7 @@ func (p *parser) parse() (Query, error) {
 }
 
 // parsePredicate handles clause {(AND|OR) clause} with AND binding tighter.
-func (p *parser) parsePredicate() (*node, error) {
+func (p *parser) parsePredicate() (*Node, error) {
 	left, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -293,12 +344,12 @@ func (p *parser) parsePredicate() (*node, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &node{op: "or", left: left, right: right}
+		left = &Node{op: "or", left: left, right: right}
 	}
 	return left, nil
 }
 
-func (p *parser) parseAnd() (*node, error) {
+func (p *parser) parseAnd() (*Node, error) {
 	left, err := p.parseClause()
 	if err != nil {
 		return nil, err
@@ -309,12 +360,12 @@ func (p *parser) parseAnd() (*node, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &node{op: "and", left: left, right: right}
+		left = &Node{op: "and", left: left, right: right}
 	}
 	return left, nil
 }
 
-func (p *parser) parseClause() (*node, error) {
+func (p *parser) parseClause() (*Node, error) {
 	if p.peek() == "(" {
 		p.pos++
 		n, err := p.parsePredicate()
@@ -338,12 +389,33 @@ func (p *parser) parseClause() (*node, error) {
 			if err := p.expectWord("null"); err != nil {
 				return nil, err
 			}
-			return &node{attr: attr, notNull: true}, nil
+			return &Node{attr: attr, notNull: true}, nil
 		}
 		if err := p.expectWord("null"); err != nil {
 			return nil, err
 		}
-		return &node{attr: attr, isNull: true}, nil
+		return &Node{attr: attr, isNull: true}, nil
+	}
+	if strings.EqualFold(op, "in") {
+		if p.next() != "(" {
+			return nil, fmt.Errorf("expected ( after in")
+		}
+		var values []string
+		for {
+			v := p.next()
+			if !strings.HasPrefix(v, "'") {
+				return nil, fmt.Errorf("in list values must be quoted, got %q", v)
+			}
+			values = append(values, strings.TrimPrefix(v, "'"))
+			sep := p.next()
+			if sep == ")" {
+				break
+			}
+			if sep != "," {
+				return nil, fmt.Errorf("expected , or ) in in list, got %q", sep)
+			}
+		}
+		return &Node{op: "in", attr: attr, values: values}, nil
 	}
 	if strings.EqualFold(op, "like") {
 		op = "like"
@@ -357,5 +429,5 @@ func (p *parser) parseClause() (*node, error) {
 	if !strings.HasPrefix(val, "'") {
 		return nil, fmt.Errorf("comparison value must be quoted, got %q", val)
 	}
-	return &node{op: op, attr: attr, value: strings.TrimPrefix(val, "'")}, nil
+	return &Node{op: op, attr: attr, value: strings.TrimPrefix(val, "'")}, nil
 }

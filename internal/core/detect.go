@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/prov"
 	"passcloud/internal/uuid"
 )
@@ -49,8 +50,11 @@ func ReadProvenance(dep *Deployment, backend Backend, u uuid.UUID) ([]prov.Bundl
 		}
 		return prov.DecodeBundles(o.Data)
 	case BackendSDB:
-		expr := fmt.Sprintf("select * from %s where itemName() like '%s%%'", DomainName, u)
-		items, _, _, err := dep.DB.SelectAll(expr)
+		// One item per version, named uuid_version: a name-prefix query
+		// returns every version and resolves through the sorted name table
+		// instead of scanning the domain.
+		q := sdb.Query{Domain: DomainName, Where: sdb.Like(sdb.ItemNameKey, u.String()+"_%")}
+		items, _, _, err := dep.DB.SelectAllQuery(q)
 		if err != nil {
 			return nil, err
 		}

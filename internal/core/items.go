@@ -112,3 +112,30 @@ func BundleFromItem(it sdb.Item) (prov.Bundle, error) { return bundleFromItem(it
 func ItemsForBundles(st *store.Store, bundles []prov.Bundle) ([]sdb.PutRequest, error) {
 	return itemsFor(st, bundles)
 }
+
+// ItemSpec describes one synthetic provenance item for bulk population —
+// the minimal attribute set the query engine navigates by.
+type ItemSpec struct {
+	Ref   prov.Ref
+	Type  string // "file" | "proc" | "pipe"
+	Name  string // object name; empty omits the attribute
+	Input string // xref value (uuid_version); empty omits the attribute
+}
+
+// PopulateItems bulk-writes provenance-shaped items with maximal batches at
+// the SimpleDB connection ceiling — the setup path of the large-N query
+// benchmarks, which need domains far bigger than a workload replay builds.
+func PopulateItems(db *sdb.Domain, specs []ItemSpec) error {
+	reqs := make([]sdb.PutRequest, 0, len(specs))
+	for _, s := range specs {
+		attrs := []sdb.Attr{{Name: prov.AttrType, Value: s.Type}}
+		if s.Name != "" {
+			attrs = append(attrs, sdb.Attr{Name: prov.AttrName, Value: s.Name})
+		}
+		if s.Input != "" {
+			attrs = append(attrs, sdb.Attr{Name: prov.AttrInput, Value: s.Input})
+		}
+		reqs = append(reqs, sdb.PutRequest{Item: s.Ref.String(), Attrs: attrs, Replace: true})
+	}
+	return putItems(db, reqs, 40, false)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -260,8 +261,8 @@ func probeQueryEfficiency(factory ProtocolFactory, seed int64) (bool, error) {
 func FindByAttr(dep *Deployment, backend Backend, attr, value string) ([]prov.Ref, error) {
 	switch backend {
 	case BackendSDB:
-		expr := fmt.Sprintf("select itemName() from %s where %s = '%s'", DomainName, attr, value)
-		items, _, _, err := dep.DB.SelectAll(expr)
+		q := sdb.Query{Domain: DomainName, ItemOnly: true, Where: sdb.Eq(attr, value)}
+		items, _, _, err := dep.DB.SelectAllQuery(q)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
 	"passcloud/internal/prov"
 	"passcloud/internal/uuid"
@@ -254,14 +255,14 @@ func (e *Engine) descendants(program string, workers int) ([]prov.Ref, error) {
 	return out, nil
 }
 
-// findProcsDB finds process items of the given program name.
-func (e *Engine) findProcsDB(program string) ([]prov.Ref, error) {
-	expr := fmt.Sprintf("select itemName() from %s where %s = '%s' and %s = 'proc'",
-		core.DomainName, prov.AttrName, program, prov.AttrType)
-	items, _, _, err := e.dep.DB.SelectAll(expr)
-	if err != nil {
-		return nil, err
-	}
+// itemNameQuery is the SELECT itemName() template the traversal queries
+// share; callers copy it and bind a predicate, so one query shape is reused
+// across every BFS level instead of formatting and reparsing an expression
+// per batch.
+var itemNameQuery = sdb.Query{Domain: core.DomainName, ItemOnly: true}
+
+// refsOf parses the item names of a SELECT itemName() result.
+func refsOf(items []sdb.Item) ([]prov.Ref, error) {
 	refs := make([]prov.Ref, 0, len(items))
 	for _, it := range items {
 		r, err := prov.ParseRef(it.Name)
@@ -273,61 +274,69 @@ func (e *Engine) findProcsDB(program string) ([]prov.Ref, error) {
 	return refs, nil
 }
 
-// orBatch is how many input-reference predicates one SELECT carries
-// (SimpleDB allows 20 comparisons per predicate).
-const orBatch = 20
+// findProcsDB finds process items of the given program name.
+func (e *Engine) findProcsDB(program string) ([]prov.Ref, error) {
+	q := itemNameQuery
+	q.Where = sdb.And(sdb.Eq(prov.AttrName, program), sdb.Eq(prov.AttrType, "proc"))
+	items, _, _, err := e.dep.DB.SelectAllQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return refsOf(items)
+}
+
+// inBatch is how many input-reference values one SELECT's IN predicate
+// carries (SimpleDB allows 20 comparisons per predicate).
+const inBatch = 20
 
 // referencingItemsDB finds items whose input attribute references any of
-// refs, batching predicates with OR and optionally running the SELECTs in
-// parallel.
+// refs, batching references into IN predicates and optionally running the
+// SELECTs in parallel.
 func (e *Engine) referencingItemsDB(refs []prov.Ref, workers int) ([]prov.Ref, error) {
 	if len(refs) == 0 {
 		return nil, nil
 	}
-	var exprs []string
-	for start := 0; start < len(refs); start += orBatch {
-		end := start + orBatch
+	var batches [][]string
+	for start := 0; start < len(refs); start += inBatch {
+		end := start + inBatch
 		if end > len(refs) {
 			end = len(refs)
 		}
-		where := ""
-		for i, r := range refs[start:end] {
-			if i > 0 {
-				where += " or "
-			}
-			where += fmt.Sprintf("%s = '%s'", prov.AttrInput, r)
+		vals := make([]string, 0, end-start)
+		for _, r := range refs[start:end] {
+			vals = append(vals, r.String())
 		}
-		exprs = append(exprs, fmt.Sprintf("select itemName() from %s where %s", core.DomainName, where))
+		batches = append(batches, vals)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	results := make([][]prov.Ref, len(exprs))
-	errs := make(chan error, len(exprs))
+	results := make([][]prov.Ref, len(batches))
+	errs := make(chan error, len(batches))
 	sem := make(chan struct{}, workers)
-	for i, expr := range exprs {
-		i, expr := i, expr
+	for i, vals := range batches {
+		i, vals := i, vals
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem }()
-			items, _, _, err := e.dep.DB.SelectAll(expr)
+			q := itemNameQuery
+			q.Where = sdb.In(prov.AttrInput, vals...)
+			items, _, _, err := e.dep.DB.SelectAllQuery(q)
 			if err != nil {
 				errs <- err
 				return
 			}
-			for _, it := range items {
-				r, err := prov.ParseRef(it.Name)
-				if err != nil {
-					errs <- err
-					return
-				}
-				results[i] = append(results[i], r)
+			rs, err := refsOf(items)
+			if err != nil {
+				errs <- err
+				return
 			}
+			results[i] = rs
 			errs <- nil
 		}()
 	}
 	var firstErr error
-	for range exprs {
+	for range batches {
 		if err := <-errs; err != nil && firstErr == nil {
 			firstErr = err
 		}

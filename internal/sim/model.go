@@ -110,6 +110,7 @@ type Model struct {
 	SDBPutBase    time.Duration
 	SDBBatchBase  time.Duration // base of a BatchPutAttributes call
 	SDBBatchItem  time.Duration // additional latency per item in a batch
+	SDBScanItem   time.Duration // SELECT query-engine time per item examined
 	SQSSendBase   time.Duration
 	SQSRecvBase   time.Duration
 	SQSDeleteBase time.Duration
@@ -172,6 +173,7 @@ var baseModel = Model{
 	SDBPutBase:    900 * time.Millisecond,
 	SDBBatchBase:  2800 * time.Millisecond,
 	SDBBatchItem:  110 * time.Millisecond,
+	SDBScanItem:   10 * time.Microsecond,
 	SQSSendBase:   720 * time.Millisecond,
 	SQSRecvBase:   500 * time.Millisecond,
 	SQSDeleteBase: 300 * time.Millisecond,
@@ -209,6 +211,7 @@ func ModelFor(cfg Config) Model {
 		m.SDBPutBase = scaleDur(m.SDBPutBase, dec09Factor)
 		m.SDBBatchBase = scaleDur(m.SDBBatchBase, dec09Factor)
 		m.SDBBatchItem = scaleDur(m.SDBBatchItem, dec09Factor)
+		m.SDBScanItem = scaleDur(m.SDBScanItem, dec09Factor)
 		m.SQSSendBase = scaleDur(m.SQSSendBase, dec09Factor)
 		m.SQSRecvBase = scaleDur(m.SQSRecvBase, dec09Factor)
 		m.S3WriteRate /= dec09Factor
@@ -285,6 +288,19 @@ func (m Model) BatchItemLatency(items int) time.Duration {
 		return 0
 	}
 	return time.Duration(items-1) * m.SDBBatchItem
+}
+
+// SelectScanLatency returns the query-engine time one SELECT request pays
+// for the items its access path examined beyond the first; the sdb service
+// adds it to Exec's base charge. An indexed access path examines only the
+// candidate items of its predicate while a table scan examines every item,
+// so this term is what separates indexed and scan SELECTs in simulated time
+// (the per-request base and transfer terms are identical for both).
+func (m Model) SelectScanLatency(examined int) time.Duration {
+	if examined <= 1 {
+		return 0
+	}
+	return time.Duration(examined-1) * m.SDBScanItem
 }
 
 // gateInterval converts a rate ceiling into the gate admission interval.
