@@ -157,6 +157,61 @@ func BenchmarkBigQueryIndexed(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitPipeline replays ≥50k provenance events through P3's
+// commit path on the seed's serial implementation and on the batched
+// pipeline (SQS batch APIs, commit-daemon pool, cross-transaction BatchPut
+// coalescing), reports the headline numbers, and records the comparison in
+// BENCH_commit_pipeline.json at the repository root.
+func BenchmarkCommitPipeline(b *testing.B) {
+	const (
+		txns          = 790
+		bundlesPerTxn = 64 // 50,560 events
+		workers       = 8
+	)
+	for i := 0; i < b.N; i++ {
+		serial, err := bench.CommitPipeline(7, txns, bundlesPerTxn, 1, 64, 0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipe, err := bench.CommitPipeline(7, txns, bundlesPerTxn, workers, 64, 0, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The ≥5x/≥3x acceptance gates live in TestCommitPipelineSpeedup;
+		// the benchmark only measures and records, so a regression still
+		// gets written to the JSON instead of aborting the run. Identical
+		// provenance is non-negotiable even here.
+		if serial.ProvDigest != pipe.ProvDigest {
+			b.Fatalf("provenance diverged: %s vs %s", serial.ProvDigest, pipe.ProvDigest)
+		}
+		b.ReportMetric(serial.SimSeconds, "sim-s-serial")
+		b.ReportMetric(pipe.SimSeconds, "sim-s-pipeline")
+		b.ReportMetric(float64(serial.SQSRequests)/float64(pipe.SQSRequests), "sqs-reduction-x")
+		b.ReportMetric(serial.SimSeconds/pipe.SimSeconds, "sim-speedup-x")
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkCommitPipeline",
+			"command":   "go test -run=- -bench=BenchmarkCommitPipeline -benchtime=1x",
+			"serial":    serial,
+			"pipeline":  pipe,
+			"speedup": map[string]float64{
+				"sim":          serial.SimSeconds / pipe.SimSeconds,
+				"wall":         serial.WallSeconds / pipe.WallSeconds,
+				"sqs_requests": float64(serial.SQSRequests) / float64(pipe.SQSRequests),
+				"sdb_batches":  float64(serial.SDBBatchCalls) / float64(pipe.SDBBatchCalls),
+				"cost_usd":     serial.CostUSD / pipe.CostUSD,
+				"total_ops":    float64(serial.TotalOps) / float64(pipe.TotalOps),
+			},
+			"provenance_identical": serial.ProvDigest == pipe.ProvDigest,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_commit_pipeline.json", out, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig3Micro runs the protocol microbenchmark (Figure 3).
 func BenchmarkFig3Micro(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -97,7 +97,9 @@ func ChunkSweep(seed int64, scale float64, sizes []int) ([]ChunkSweepPoint, erro
 		points = append(points, ChunkSweepPoint{
 			ChunkBytes: size,
 			Elapsed:    env.Now() - start,
-			Messages:   env.Meter().Usage().OpsByKind["sqs.SendMessage"],
+			// No daemon ran yet, so the WAL still holds every logged
+			// message (the sends themselves are batched calls).
+			Messages: int64(dep.WAL.Len()),
 		})
 	}
 	return points, nil

@@ -1,0 +1,68 @@
+package bench
+
+import "testing"
+
+// commitPipeCompare runs the benchmark's two modes on the same transaction
+// set and applies the invariants that must hold at any scale: byte-identical
+// recorded provenance and strictly cheaper pipeline execution.
+func commitPipeCompare(t *testing.T, txns, bundlesPerTxn, workers int) (serial, pipe CommitPipeRun) {
+	t.Helper()
+	serial, err := CommitPipeline(7, txns, bundlesPerTxn, 1, 64, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err = CommitPipeline(7, txns, bundlesPerTxn, workers, 64, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ProvDigest != pipe.ProvDigest || serial.ProvDigest == "" {
+		t.Fatalf("recorded provenance differs: serial %s vs pipeline %s", serial.ProvDigest, pipe.ProvDigest)
+	}
+	if pipe.CostUSD >= serial.CostUSD {
+		t.Errorf("pipeline cost $%.4f not below serial $%.4f", pipe.CostUSD, serial.CostUSD)
+	}
+	t.Logf("serial:   sim=%.1fs wall=%.2fs sqs=%d sdb-batches=%d $%.4f",
+		serial.SimSeconds, serial.WallSeconds, serial.SQSRequests, serial.SDBBatchCalls, serial.CostUSD)
+	t.Logf("pipeline: sim=%.1fs wall=%.2fs sqs=%d sdb-batches=%d $%.4f (%.1fx sim, %.1fx fewer SQS requests)",
+		pipe.SimSeconds, pipe.WallSeconds, pipe.SQSRequests, pipe.SDBBatchCalls, pipe.CostUSD,
+		serial.SimSeconds/pipe.SimSeconds, float64(serial.SQSRequests)/float64(pipe.SQSRequests))
+	return serial, pipe
+}
+
+// TestCommitPipelineIdentical is the always-on correctness check: a small
+// transaction set committed through both paths lands byte-identically.
+func TestCommitPipelineIdentical(t *testing.T) {
+	commitPipeCompare(t, 24, 16, 4)
+}
+
+// TestCommitPipelineSpeedup is the acceptance check for the batched commit
+// pipeline at full scale: ≥50k provenance events, ≥5x fewer SQS requests
+// and ≥3x less simulated commit+settle time than the seed's serial path,
+// with byte-identical provenance read back through ReadProvenance.
+func TestCommitPipelineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N benchmark")
+	}
+	const (
+		txns          = 790
+		bundlesPerTxn = 64 // 50,560 events, ≈8 WAL chunks per transaction
+		workers       = 8
+	)
+	serial, pipe := commitPipeCompare(t, txns, bundlesPerTxn, workers)
+	if serial.Events < 50_000 {
+		t.Fatalf("only %d events, want >= 50000", serial.Events)
+	}
+	if float64(serial.SQSRequests) < 5*float64(pipe.SQSRequests) {
+		t.Errorf("SQS requests: serial %d vs pipeline %d — %.1fx, want >= 5x",
+			serial.SQSRequests, pipe.SQSRequests, float64(serial.SQSRequests)/float64(pipe.SQSRequests))
+	}
+	if serial.SimSeconds < 3*pipe.SimSeconds {
+		t.Errorf("simulated time: serial %.1fs vs pipeline %.1fs — %.1fx, want >= 3x",
+			serial.SimSeconds, pipe.SimSeconds, serial.SimSeconds/pipe.SimSeconds)
+	}
+	// Coalescing across transactions must produce fuller batches: fewer
+	// BatchPutAttributes calls for the same item count.
+	if pipe.SDBBatchCalls >= serial.SDBBatchCalls {
+		t.Errorf("batch calls: pipeline %d not below serial %d", pipe.SDBBatchCalls, serial.SDBBatchCalls)
+	}
+}

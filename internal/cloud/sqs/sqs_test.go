@@ -216,3 +216,144 @@ func TestSendCountsOps(t *testing.T) {
 		t.Fatalf("ops = %v", u.OpsByKind)
 	}
 }
+
+func TestSendMessageBatchRoundTrip(t *testing.T) {
+	q := strictQueue(t)
+	bodies := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	ids, err := q.SendMessageBatch(bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(bodies) {
+		t.Fatalf("ids = %d, want %d", len(ids), len(bodies))
+	}
+	got := make(map[string]bool)
+	for _, m := range q.ReceiveMessage(10) {
+		got[string(m.Body)] = true
+	}
+	for _, b := range bodies {
+		if !got[string(b)] {
+			t.Fatalf("batched body %q not delivered", b)
+		}
+	}
+	// One batch call is one billed request and one counted op.
+	u := q.Env().Meter().Usage()
+	if u.OpsByKind["sqs.SendMessageBatch"] != 1 {
+		t.Fatalf("batch ops = %d, want 1", u.OpsByKind["sqs.SendMessageBatch"])
+	}
+	if u.OpsByKind["sqs.SendMessage"] != 0 {
+		t.Fatal("batch send counted as entry-by-entry sends")
+	}
+}
+
+func TestSendMessageBatchLimitsAreAtomic(t *testing.T) {
+	q := strictQueue(t)
+	// Too many entries: nothing may be enqueued.
+	var eleven [][]byte
+	for i := 0; i < MaxBatchEntries+1; i++ {
+		eleven = append(eleven, []byte{byte(i)})
+	}
+	if _, err := q.SendMessageBatch(eleven); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want batch-too-large", err)
+	}
+	// One oversized entry: nothing may be enqueued.
+	bodies := [][]byte{[]byte("ok"), make([]byte, MaxMessageSize+1)}
+	if _, err := q.SendMessageBatch(bodies); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("err = %v, want message-too-large", err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("failed batch enqueued %d messages", q.Len())
+	}
+	// Empty batch is a free no-op.
+	if ids, err := q.SendMessageBatch(nil); err != nil || len(ids) != 0 {
+		t.Fatalf("empty batch: ids=%v err=%v", ids, err)
+	}
+	if q.Env().Meter().Usage().TotalOps != 0 {
+		t.Fatal("empty batch charged a request")
+	}
+}
+
+func TestDeleteMessageBatch(t *testing.T) {
+	q := strictQueue(t)
+	var bodies [][]byte
+	for i := 0; i < 6; i++ {
+		bodies = append(bodies, []byte{byte(i)})
+	}
+	if _, err := q.SendMessageBatch(bodies); err != nil {
+		t.Fatal(err)
+	}
+	msgs := q.ReceiveMessage(10)
+	var receipts []string
+	for _, m := range msgs {
+		receipts = append(receipts, m.ReceiptHandle)
+	}
+	before := q.Env().Meter().Usage().TotalOps
+	if err := q.DeleteMessageBatch(receipts); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Env().Meter().Usage().TotalOps - before; got != 1 {
+		t.Fatalf("batch delete billed %d requests, want 1", got)
+	}
+	// Re-deleting (including already-deleted receipts) succeeds, as on SQS.
+	if err := q.DeleteMessageBatch(receipts[:2]); err != nil {
+		t.Fatal(err)
+	}
+	q.Env().Clock().Advance(time.Minute)
+	if got := q.ReceiveMessage(10); len(got) != 0 {
+		t.Fatalf("batch-deleted messages redelivered: %v", got)
+	}
+	var many []string
+	for i := 0; i <= MaxBatchEntries; i++ {
+		many = append(many, "r")
+	}
+	if err := q.DeleteMessageBatch(many); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want batch-too-large", err)
+	}
+}
+
+func TestSendMessageBatchDuplicatesPerEntry(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Consistency = sim.Strict
+	cfg.DupProb = 1 // always duplicate
+	q := New(sim.NewEnv(cfg), "wal")
+	if _, err := q.SendMessageBatch([][]byte{[]byte("x"), []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	// At-least-once applies per entry: each message stored twice.
+	if q.Len() != 4 {
+		t.Fatalf("queue length = %d, want 4 (2 entries duplicated)", q.Len())
+	}
+}
+
+func TestBatchIsCheaperThanSingles(t *testing.T) {
+	// The point of the batch APIs: one full batch must cost less simulated
+	// time and fewer billed requests than its entries sent one by one.
+	single := strictQueue(t)
+	t0 := single.Env().Now()
+	for i := 0; i < MaxBatchEntries; i++ {
+		if _, err := single.SendMessage([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	singleTime := single.Env().Now() - t0
+
+	batched := strictQueue(t)
+	var bodies [][]byte
+	for i := 0; i < MaxBatchEntries; i++ {
+		bodies = append(bodies, []byte{byte(i)})
+	}
+	t0 = batched.Env().Now()
+	if _, err := batched.SendMessageBatch(bodies); err != nil {
+		t.Fatal(err)
+	}
+	batchTime := batched.Env().Now() - t0
+
+	if batchTime*3 > singleTime {
+		t.Fatalf("batch %v not at least 3x faster than singles %v", batchTime, singleTime)
+	}
+	su := single.Env().Meter().Usage().Requests[sim.CostSQS]
+	bu := batched.Env().Meter().Usage().Requests[sim.CostSQS]
+	if bu != 1 || su != MaxBatchEntries {
+		t.Fatalf("billed requests: batch=%d singles=%d", bu, su)
+	}
+}

@@ -19,6 +19,16 @@
 // The package also provides the coupling/ordering detection of §3
 // (detect.go), the Table-1 property probes (properties.go), and the commit
 // and cleaner daemons of P3 (p3.go).
+//
+// P3's commit path is batched and pipelined: WAL chunks ship through SQS
+// SendMessageBatch, receipts are acknowledged with DeleteMessageBatch, and
+// a pool of Options.CommitWorkers commit daemons assembles transactions in
+// sharded state and group-commits them, coalescing provenance items across
+// transactions into full 25-item BatchPutAttributes calls. The knobs are
+// Options.CommitWorkers (pool size, default 1), Options.ProvConns and
+// Options.DataConns (per-commit connection fan-out), and — for ablation
+// benchmarks only — P3.SetBatchedCommit(false), which restores the seed's
+// entry-by-entry serial path.
 package core
 
 import (
@@ -131,6 +141,13 @@ type Options struct {
 	// parallel instead ("this violates multi-object causal ordering for
 	// P1 and P2"); Ordered false reproduces that.
 	Ordered bool
+	// CommitWorkers is the size of P3's commit-daemon pool: the number of
+	// daemons that concurrently drain the WAL, assemble transactions into
+	// sharded state, and commit ready transactions as coalesced groups.
+	// Every worker runs the same idempotent commit, so any N >= 1 preserves
+	// the crash-recovery and redelivery semantics. Zero means one worker
+	// (the seed's serial daemon). The other protocols ignore it.
+	CommitWorkers int
 }
 
 // withDefaults fills zero fields.
@@ -140,6 +157,9 @@ func (o Options) withDefaults(provConns int) Options {
 	}
 	if o.ProvConns <= 0 {
 		o.ProvConns = provConns
+	}
+	if o.CommitWorkers <= 0 {
+		o.CommitWorkers = 1
 	}
 	return o
 }

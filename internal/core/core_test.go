@@ -370,9 +370,17 @@ func TestP3ChunksLargeProvenance(t *testing.T) {
 	if err := p.Commit(obj, bundles); err != nil {
 		t.Fatal(err)
 	}
-	sends := dep.Env.Meter().Usage().OpsByKind["sqs.SendMessage"]
-	if sends < 5 {
-		t.Fatalf("sends = %d, want >= 5 for ~40KB", sends)
+	if msgs := dep.WAL.Len(); msgs < 5 {
+		t.Fatalf("WAL messages = %d, want >= 5 for ~40KB", msgs)
+	}
+	// The chunks must have shipped through the batch API: fewer service
+	// requests than messages, and no entry-by-entry sends at all.
+	sends := dep.Env.Meter().Usage().OpsByKind["sqs.SendMessageBatch"]
+	if sends == 0 || sends >= int64(dep.WAL.Len()) {
+		t.Fatalf("batch sends = %d for %d messages", sends, dep.WAL.Len())
+	}
+	if n := dep.Env.Meter().Usage().OpsByKind["sqs.SendMessage"]; n != 0 {
+		t.Fatalf("entry-by-entry sends = %d, want 0", n)
 	}
 	if err := p.Settle(); err != nil {
 		t.Fatal(err)

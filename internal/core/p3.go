@@ -7,6 +7,8 @@ import (
 	"sync"
 	"time"
 
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/sqs"
 	"passcloud/internal/cloud/store"
 	"passcloud/internal/prov"
 	"passcloud/internal/uuid"
@@ -22,38 +24,65 @@ import (
 //     versions plus all not-yet-written ancestors — including them in the
 //     transaction is what preserves multi-object causal ordering even
 //     though packets are sent in parallel), chunk it into ≤8 KB messages
-//     and send them to the WAL queue. The first message carries the packet
-//     count, the temporary object pointer, the final key and the version.
+//     and send them to the WAL queue with SendMessageBatch (≤10 chunks per
+//     service request). The first message carries the packet count, the
+//     temporary object pointer, the final key and the version.
 //
-// Commit phase (commit daemon, asynchronous):
+// Commit phase (commit-daemon pool, asynchronous):
 //
-//  3. assemble packets by transaction; once a transaction is complete,
-//     spill >1 KB values, BatchPut the provenance into the database, COPY
-//     the temporary object to its permanent key (updating the version
-//     metadata as part of the COPY), DELETE the temporary object and the
-//     transaction's WAL messages.
+//  3. assemble packets by transaction into sharded state (any daemon can
+//     fold packets of any transaction; the shard lock, not a global one, is
+//     the only point of contention); once transactions are complete, commit
+//     them as a group: spill >1 KB values, coalesce the provenance items of
+//     every transaction in the group into full 25-item BatchPutAttributes
+//     calls, COPY each temporary object to its permanent key (updating the
+//     version metadata as part of the COPY), DELETE the temporary objects
+//     and batch-delete the group's WAL receipts.
 //
 // A transaction whose packets never all arrive (client crash mid-log) is
 // ignored; the queue's retention expires its messages and the cleaner
-// daemon removes its temporary object. If the commit daemon crashes
+// daemon removes its temporary object. If a commit daemon crashes
 // mid-commit, the messages reappear after the visibility timeout and any
-// daemon — on any machine — re-runs the commit; every step is idempotent.
+// daemon — on any machine, including another worker of the same pool —
+// re-runs the commit; every step is idempotent. A transaction becomes
+// committed the moment its COPY is durable: receipt cleanup failures after
+// that point are collected and reported, but redelivered packets of a
+// committed transaction are simply acknowledged, never re-committed.
 type P3 struct {
 	dep  *Deployment
 	opts Options
 
+	// shards hold per-transaction assembly and commit state; packets are
+	// routed by transaction uuid so the worker pool contends on a shard,
+	// never on the whole table.
+	shards [txnShards]txnShard
+
+	// mu guards the fault-injection knobs (tests and the Table-1 property
+	// probes).
+	mu                sync.Mutex
+	crashAfterPackets int        // client dies after sending N packets (0 = off)
+	daemonCrash       CrashPoint // daemon dies at this point in the next commit
+	cleanupDropAfter  int        // next commit acknowledges only N receipts (0 = off)
+
+	chunkSize int
+
+	// serial disables the batch APIs and cross-transaction coalescing,
+	// reproducing the seed's entry-by-entry commit path. Benchmark ablation
+	// only; set before any commits and never mid-run.
+	serial bool
+}
+
+// txnShards is the number of assembly shards; a small power of two keeps
+// routing cheap while letting a pool of daemons fold packets concurrently.
+const txnShards = 16
+
+// txnShard is one slice of the transaction-assembly table.
+type txnShard struct {
 	mu      sync.Mutex
 	pending map[uuid.UUID]*txnState
-
 	// committed remembers finished transactions so redelivered packets are
 	// acknowledged without re-running the commit.
 	committed map[uuid.UUID]bool
-
-	// Fault injection (tests and the Table-1 property probes).
-	crashAfterPackets int        // client dies after sending N packets (0 = off)
-	daemonCrash       CrashPoint // daemon dies at this point in the next commit
-
-	chunkSize int
 }
 
 // CrashPoint names a place in the commit daemon where fault injection can
@@ -77,26 +106,77 @@ type txnState struct {
 
 // NewP3 returns a P3 client (and its daemons' logic) bound to dep.
 func NewP3(dep *Deployment, opts Options) *P3 {
-	return &P3{
+	p := &P3{
 		dep:       dep,
 		opts:      opts.withDefaults(150),
-		pending:   make(map[uuid.UUID]*txnState),
-		committed: make(map[uuid.UUID]bool),
 		chunkSize: DefaultChunkSize,
 	}
+	for i := range p.shards {
+		p.shards[i].pending = make(map[uuid.UUID]*txnState)
+		p.shards[i].committed = make(map[uuid.UUID]bool)
+	}
+	return p
 }
 
 // Name implements Protocol.
 func (p *P3) Name() string { return "P3" }
 
+// Workers reports the size of the commit-daemon pool.
+func (p *P3) Workers() int { return p.opts.CommitWorkers }
+
 // SetChunkSize overrides the WAL chunk payload size (ablation benchmarks).
 func (p *P3) SetChunkSize(n int) { p.chunkSize = n }
 
+// SetBatchedCommit toggles the batched commit path (the default). False
+// reproduces the seed implementation for the ablation benchmarks: one
+// SendMessage per WAL chunk, one DeleteMessage per receipt, and each
+// transaction's provenance in its own (usually under-filled)
+// BatchPutAttributes calls. Call before any commits; the knob must not be
+// flipped mid-run.
+func (p *P3) SetBatchedCommit(v bool) { p.serial = !v }
+
 // SetClientCrashAfter makes the next Commit die after sending n packets.
-func (p *P3) SetClientCrashAfter(n int) { p.crashAfterPackets = n }
+func (p *P3) SetClientCrashAfter(n int) {
+	p.mu.Lock()
+	p.crashAfterPackets = n
+	p.mu.Unlock()
+}
+
+// takeClientCrash consumes the one-shot client-crash injection if it
+// applies to a transaction of total packets.
+func (p *P3) takeClientCrash(total int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	crashAt := p.crashAfterPackets
+	if crashAt > 0 && crashAt < total {
+		p.crashAfterPackets = 0
+		return crashAt
+	}
+	return 0
+}
 
 // SetDaemonCrash makes the next daemon commit die at the given point.
-func (p *P3) SetDaemonCrash(c CrashPoint) { p.daemonCrash = c }
+func (p *P3) SetDaemonCrash(c CrashPoint) {
+	p.mu.Lock()
+	p.daemonCrash = c
+	p.mu.Unlock()
+}
+
+// SetCleanupDropAfter makes the next commit's receipt cleanup stop after
+// acknowledging n receipts, simulating a daemon that died mid-way through
+// deleting a committed transaction's WAL messages. The half-acknowledged
+// remainder reappears after the visibility timeout and must be absorbed by
+// the committed-transaction path without re-running the commit.
+func (p *P3) SetCleanupDropAfter(n int) {
+	p.mu.Lock()
+	p.cleanupDropAfter = n
+	p.mu.Unlock()
+}
+
+// shardFor routes a transaction to its assembly shard.
+func (p *P3) shardFor(txn uuid.UUID) *txnShard {
+	return &p.shards[int(txn[0])%txnShards]
+}
 
 // TmpKey is the temporary object key for a transaction.
 func TmpKey(txn uuid.UUID) string { return TmpPrefix + txn.String() }
@@ -115,8 +195,9 @@ func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
 		}
 	}
 
-	// 2. Chunk the provenance into WAL messages and send them in parallel
-	// (order does not matter: the daemon reassembles by sequence number).
+	// 2. Chunk the provenance into WAL messages and send them batched, in
+	// parallel across batch calls (order does not matter: the daemon
+	// reassembles by sequence number).
 	hdr := walTxn{
 		Txn:      txn,
 		TmpKey:   tmpKey,
@@ -127,55 +208,115 @@ func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
 	}
 	msgs := encodeWAL(txn, hdr, prov.EncodeBundles(bundles), p.chunkSize)
 
-	crashAt := p.crashAfterPackets
-	if crashAt > 0 && crashAt < len(msgs) {
-		p.crashAfterPackets = 0
+	if crashAt := p.takeClientCrash(len(msgs)); crashAt > 0 {
 		// Simulated client crash: only the first crashAt packets reach the
 		// WAL; the daemon must ignore the incomplete transaction.
-		for _, m := range msgs[:crashAt] {
-			if _, err := p.dep.WAL.SendMessage(m); err != nil {
-				return err
-			}
+		if err := p.sendWAL(msgs[:crashAt]); err != nil {
+			return err
 		}
 		return fmt.Errorf("%w after %d of %d packets", ErrSimulatedCrash, crashAt, len(msgs))
 	}
+	return p.sendWAL(msgs)
+}
 
-	tasks := make([]func() error, len(msgs))
-	for i, m := range msgs {
-		m := m
-		tasks[i] = func() error {
-			_, err := p.dep.WAL.SendMessage(m)
-			return err
+// sendWAL ships WAL messages in ≤10-entry SendMessageBatch calls, batches
+// running in parallel on the provenance connection pool. In serial mode
+// every message is its own SendMessage request.
+func (p *P3) sendWAL(msgs [][]byte) error {
+	if p.serial {
+		tasks := make([]func() error, len(msgs))
+		for i, m := range msgs {
+			m := m
+			tasks[i] = func() error {
+				_, err := p.dep.WAL.SendMessage(m)
+				return err
+			}
 		}
+		return runParallel(p.opts.ProvConns, tasks)
+	}
+	var tasks []func() error
+	for start := 0; start < len(msgs); start += sqs.MaxBatchEntries {
+		end := start + sqs.MaxBatchEntries
+		if end > len(msgs) {
+			end = len(msgs)
+		}
+		batch := msgs[start:end]
+		tasks = append(tasks, func() error {
+			_, err := p.dep.WAL.SendMessageBatch(batch)
+			return err
+		})
 	}
 	return runParallel(p.opts.ProvConns, tasks)
 }
 
-// CommitOnce runs one round of the commit daemon: receive a batch of WAL
-// messages, fold them into transaction state, and commit any transaction
-// that became complete. It reports whether it made progress.
+// commitReceiveBudget is how many ReceiveMessage calls one batched commit
+// round may spend assembling transactions before committing what became
+// ready. Pulling a few tens of messages per round is what lets the group
+// commit coalesce items across transactions into full database batches;
+// the serial ablation path keeps the seed's one receive per round.
+const commitReceiveBudget = 4
+
+// CommitOnce runs one round of a commit daemon: receive WAL messages (up
+// to the assembly budget), fold them into the sharded transaction state,
+// and group-commit every transaction that became complete. It reports
+// whether it made progress. Any number of workers may run CommitOnce
+// concurrently.
 func (p *P3) CommitOnce() (bool, error) {
-	msgs := p.dep.WAL.ReceiveMessage(10)
-	if len(msgs) == 0 {
-		return false, nil
+	budget := 1
+	if !p.serial {
+		budget = commitReceiveBudget
 	}
 	var ready []*txnState
-	p.mu.Lock()
+	var acks []string
+	progress := false
+	for r := 0; r < budget; r++ {
+		msgs := p.dep.WAL.ReceiveMessage(10)
+		if len(msgs) == 0 {
+			break
+		}
+		progress = true
+		rdy, a := p.foldMessages(msgs)
+		ready = append(ready, rdy...)
+		acks = append(acks, a...)
+	}
+	if !progress {
+		return false, nil
+	}
+	var errs []error
+	if err := p.deleteReceipts(acks); err != nil {
+		errs = append(errs, err)
+	}
+	if len(ready) > 0 {
+		if err := p.commitGroup(ready); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return true, errors.Join(errs...)
+}
+
+// foldMessages routes received packets into their transactions' shards and
+// returns the transactions completed by this batch, plus the receipts of
+// redelivered packets belonging to already-committed transactions (which
+// only need acknowledging).
+func (p *P3) foldMessages(msgs []sqs.Message) (ready []*txnState, acks []string) {
 	for _, m := range msgs {
 		pkt, err := decodeWAL(m.Body)
 		if err != nil {
 			// An undecodable packet is dropped; retention will expire it.
 			continue
 		}
-		if p.committed[pkt.Txn] {
+		sh := p.shardFor(pkt.Txn)
+		sh.mu.Lock()
+		if sh.committed[pkt.Txn] {
 			// Redelivery of an already-committed transaction: just ack.
-			p.dep.WAL.DeleteMessage(m.ReceiptHandle)
+			sh.mu.Unlock()
+			acks = append(acks, m.ReceiptHandle)
 			continue
 		}
-		st := p.pending[pkt.Txn]
+		st := sh.pending[pkt.Txn]
 		if st == nil {
 			st = &txnState{got: make(map[int][]byte)}
-			p.pending[pkt.Txn] = st
+			sh.pending[pkt.Txn] = st
 		}
 		st.receipts = append(st.receipts, m.ReceiptHandle)
 		if _, dup := st.got[pkt.Seq]; !dup {
@@ -187,101 +328,219 @@ func (p *P3) CommitOnce() (bool, error) {
 		}
 		if st.header != nil && len(st.got) == st.header.Total {
 			ready = append(ready, st)
-			delete(p.pending, pkt.Txn)
+			delete(sh.pending, pkt.Txn)
 		}
+		sh.mu.Unlock()
 	}
-	p.mu.Unlock()
+	return ready, acks
+}
 
-	var firstErr error
-	for _, st := range ready {
-		if err := p.commitTxn(st); err != nil {
-			if firstErr == nil {
-				firstErr = err
+// markCommitted records a finished transaction and drops any assembly state
+// a concurrent redelivery may have rebuilt for it.
+func (p *P3) markCommitted(txn uuid.UUID) {
+	sh := p.shardFor(txn)
+	sh.mu.Lock()
+	sh.committed[txn] = true
+	delete(sh.pending, txn)
+	sh.mu.Unlock()
+}
+
+// isCommitted reports whether txn already reached its final state.
+func (p *P3) isCommitted(txn uuid.UUID) bool {
+	sh := p.shardFor(txn)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.committed[txn]
+}
+
+// deleteReceipts acknowledges WAL messages in ≤10-entry DeleteMessageBatch
+// calls, collecting — not short-circuiting on — per-batch errors so one
+// failure cannot leave later receipts silently unacknowledged.
+func (p *P3) deleteReceipts(receipts []string) error {
+	var errs []error
+	if p.serial {
+		for _, r := range receipts {
+			if err := p.dep.WAL.DeleteMessage(r); err != nil {
+				errs = append(errs, err)
 			}
-			continue
 		}
-		p.mu.Lock()
-		p.committed[st.header.Txn] = true
-		p.mu.Unlock()
+		return errors.Join(errs...)
 	}
-	return true, firstErr
+	for start := 0; start < len(receipts); start += sqs.MaxBatchEntries {
+		end := start + sqs.MaxBatchEntries
+		if end > len(receipts) {
+			end = len(receipts)
+		}
+		if err := p.dep.WAL.DeleteMessageBatch(receipts[start:end]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // errDaemonCrash distinguishes injected daemon crashes.
 var errDaemonCrash = errors.New("core: simulated commit daemon crash")
 
-// commitTxn pushes one complete transaction to its final state. Every step
-// is idempotent so a crashed commit can be re-run by any daemon.
-func (p *P3) commitTxn(st *txnState) error {
-	hdr := st.header
+// txnWork is one transaction moving through the group-commit pipeline.
+type txnWork struct {
+	st     *txnState
+	hdr    *walTxn
+	reqs   []sdb.PutRequest
+	copied bool
+}
 
-	// Reassemble and decode the provenance payload.
+// commitGroup pushes a set of complete transactions to their final state
+// together, coalescing their provenance across transaction boundaries into
+// full database batches and batch-deleting their WAL receipts. Every step
+// is idempotent so a crashed group commit can be re-run by any daemon; a
+// transaction that fails a per-transaction step drops out of the group and
+// is retried on redelivery without holding the others back.
+func (p *P3) commitGroup(group []*txnState) error {
+	var errs []error
+
+	// Reassemble and decode each transaction, spilling oversized values and
+	// converting bundles into database put requests. A transaction another
+	// worker committed in the meantime only needs its receipts acknowledged.
+	work := make([]*txnWork, 0, len(group))
+	var acks []string
+	for _, st := range group {
+		hdr := st.header
+		if p.isCommitted(hdr.Txn) {
+			acks = append(acks, st.receipts...)
+			continue
+		}
+		bundles, err := decodeTxn(st)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		reqs, err := itemsFor(p.dep.Store, bundles)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		work = append(work, &txnWork{st: st, hdr: hdr, reqs: reqs})
+	}
+	if err := p.deleteReceipts(acks); err != nil {
+		errs = append(errs, err)
+	}
+	if len(work) == 0 {
+		return errors.Join(errs...)
+	}
+
+	if p.takeCrash(CrashBeforeDB) {
+		return errors.Join(append(errs, errDaemonCrash)...)
+	}
+
+	// 1+2. Store provenance in the database, coalescing the whole group's
+	// items into batches of 25 regardless of transaction boundaries. Puts
+	// replace whole items, so a redelivered transaction rewrites the same
+	// rows — a database failure here fails the group and redelivery retries.
+	if p.serial {
+		// Seed behaviour: each transaction fills its own batches, however
+		// few items it carries.
+		for _, w := range work {
+			if err := putItems(p.dep.DB, w.reqs, p.opts.ProvConns, false); err != nil {
+				return errors.Join(append(errs, err)...)
+			}
+		}
+	} else {
+		all := make([]sdb.PutRequest, 0, len(work))
+		for _, w := range work {
+			all = append(all, w.reqs...)
+		}
+		if err := putItems(p.dep.DB, all, p.opts.ProvConns, false); err != nil {
+			return errors.Join(append(errs, err)...)
+		}
+	}
+
+	if p.takeCrash(CrashAfterDB) {
+		return errors.Join(append(errs, errDaemonCrash)...)
+	}
+
+	// 3. COPY each temporary object to its permanent key, setting the
+	// linking metadata as part of the COPY (atomic data+metadata update);
+	// copies of distinct transactions run in parallel.
+	tasks := make([]func() error, len(work))
+	for i, w := range work {
+		w := w
+		tasks[i] = func() error {
+			if w.hdr.TmpKey != "" {
+				meta := store.Metadata{
+					MetaUUID:    w.hdr.Ref.UUID.String(),
+					MetaVersion: strconv.Itoa(w.hdr.Ref.Version),
+				}
+				if w.hdr.Digest != "" {
+					meta[MetaMerkle] = w.hdr.Digest
+				}
+				if err := p.dep.Store.Copy(w.hdr.TmpKey, w.hdr.FinalKey, meta); err != nil {
+					// The temp object may already be gone if a previous
+					// daemon crashed between COPY+DELETE and message
+					// acknowledgement; accept the state if the final object
+					// carries our version.
+					if !p.alreadyCommitted(w.hdr) {
+						return fmt.Errorf("core: txn %s copy: %w", w.hdr.Txn, err)
+					}
+				}
+			}
+			w.copied = true
+			return nil
+		}
+	}
+	if err := runParallel(p.opts.DataConns, tasks); err != nil {
+		errs = append(errs, err)
+	}
+
+	if p.takeCrash(CrashAfterCopy) {
+		return errors.Join(append(errs, errDaemonCrash)...)
+	}
+
+	// 4. The commit of each copied transaction is durable: mark it
+	// committed before cleanup so redelivered packets are acknowledged, not
+	// re-committed, even if cleanup below fails part-way. Then delete the
+	// temporary objects and batch-delete the group's WAL receipts,
+	// collecting every error instead of abandoning the rest of the group's
+	// acknowledgements at the first failure.
+	var receipts []string
+	for _, w := range work {
+		if !w.copied {
+			continue
+		}
+		p.markCommitted(w.hdr.Txn)
+		if w.hdr.TmpKey != "" {
+			if err := p.dep.Store.Delete(w.hdr.TmpKey); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		receipts = append(receipts, w.st.receipts...)
+	}
+	if drop := p.takeCleanupDrop(); drop > 0 && drop < len(receipts) {
+		// Injected mid-cleanup death: the rest of the receipts stay
+		// unacknowledged and must be absorbed as redeliveries.
+		receipts = receipts[:drop]
+	}
+	if err := p.deleteReceipts(receipts); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// decodeTxn reassembles a complete transaction's payload and decodes it.
+func decodeTxn(st *txnState) ([]prov.Bundle, error) {
+	hdr := st.header
 	var payload []byte
 	for seq := 0; seq < hdr.Total; seq++ {
 		chunk, ok := st.got[seq]
 		if !ok {
-			return fmt.Errorf("core: txn %s missing packet %d", hdr.Txn, seq)
+			return nil, fmt.Errorf("core: txn %s missing packet %d", hdr.Txn, seq)
 		}
 		payload = append(payload, chunk...)
 	}
 	bundles, err := prov.DecodeBundles(payload)
 	if err != nil {
-		return fmt.Errorf("core: txn %s: %w", hdr.Txn, err)
+		return nil, fmt.Errorf("core: txn %s: %w", hdr.Txn, err)
 	}
-
-	if p.takeCrash(CrashBeforeDB) {
-		return errDaemonCrash
-	}
-
-	// 1+2. Spill oversized values, then store provenance in the database.
-	reqs, err := itemsFor(p.dep.Store, bundles)
-	if err != nil {
-		return err
-	}
-	if err := putItems(p.dep.DB, reqs, p.opts.ProvConns, false); err != nil {
-		return err
-	}
-
-	if p.takeCrash(CrashAfterDB) {
-		return errDaemonCrash
-	}
-
-	// 3. COPY the temporary object to its permanent key, setting the
-	// linking metadata as part of the COPY (atomic data+metadata update).
-	if hdr.TmpKey != "" {
-		meta := store.Metadata{
-			MetaUUID:    hdr.Ref.UUID.String(),
-			MetaVersion: strconv.Itoa(hdr.Ref.Version),
-		}
-		if hdr.Digest != "" {
-			meta[MetaMerkle] = hdr.Digest
-		}
-		if err := p.dep.Store.Copy(hdr.TmpKey, hdr.FinalKey, meta); err != nil {
-			// The temp object may already be gone if a previous daemon
-			// crashed between COPY+DELETE and message acknowledgement;
-			// accept the state if the final object carries our version.
-			if !p.alreadyCommitted(hdr) {
-				return fmt.Errorf("core: txn %s copy: %w", hdr.Txn, err)
-			}
-		}
-	}
-
-	if p.takeCrash(CrashAfterCopy) {
-		return errDaemonCrash
-	}
-
-	// 4. Delete the temporary object and the transaction's WAL messages.
-	if hdr.TmpKey != "" {
-		if err := p.dep.Store.Delete(hdr.TmpKey); err != nil {
-			return err
-		}
-	}
-	for _, r := range st.receipts {
-		if err := p.dep.WAL.DeleteMessage(r); err != nil {
-			return err
-		}
-	}
-	return nil
+	return bundles, nil
 }
 
 // alreadyCommitted checks whether the final object already carries the
@@ -306,19 +565,45 @@ func (p *P3) takeCrash(c CrashPoint) bool {
 	return false
 }
 
-// Settle drains the commit daemon until the WAL holds nothing actionable:
-// it keeps receiving until several consecutive rounds make no progress.
-// Incomplete transactions (crashed clients) are left for retention and the
-// cleaner, as on the real system.
+// takeCleanupDrop consumes the one-shot mid-cleanup death injection.
+func (p *P3) takeCleanupDrop() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.cleanupDropAfter
+	p.cleanupDropAfter = 0
+	return n
+}
+
+// Settle drains the commit-daemon pool until the WAL holds nothing
+// actionable: each round runs CommitWorkers concurrent CommitOnce workers
+// and the loop ends after several consecutive rounds with no progress on
+// any worker. Incomplete transactions (crashed clients) are left for
+// retention and the cleaner, as on the real system.
 func (p *P3) Settle() error {
 	idle := 0
 	var lastErr error
 	for idle < 3 {
-		progress, err := p.CommitOnce()
-		if err != nil {
-			lastErr = err
+		workers := p.opts.CommitWorkers
+		progress := make([]bool, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				progress[i], errs[i] = p.CommitOnce()
+			}()
 		}
-		if progress {
+		wg.Wait()
+		any := false
+		for i := 0; i < workers; i++ {
+			any = any || progress[i]
+			if errs[i] != nil {
+				lastErr = errs[i]
+			}
+		}
+		if any {
 			idle = 0
 		} else {
 			idle++
@@ -330,31 +615,45 @@ func (p *P3) Settle() error {
 	return lastErr
 }
 
-// RunDaemon runs the commit daemon until stop is closed (live mode). The
-// poll interval spaces queue receives when the WAL is empty.
+// RunDaemon runs the commit-daemon pool until stop is closed (live mode):
+// CommitWorkers goroutines each loop CommitOnce, sleeping the poll interval
+// when the WAL is empty. It returns once every worker has exited.
 func (p *P3) RunDaemon(stop <-chan struct{}, poll time.Duration) {
 	if poll <= 0 {
 		poll = 2 * time.Second
 	}
-	for {
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		progress, _ := p.CommitOnce()
-		if !progress {
-			p.dep.Env.Clock().Sleep(poll)
-		}
+	var wg sync.WaitGroup
+	for i := 0; i < p.opts.CommitWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				progress, _ := p.CommitOnce()
+				if !progress {
+					p.dep.Env.Clock().Sleep(poll)
+				}
+			}
+		}()
 	}
+	wg.Wait()
 }
 
 // PendingTxns reports transactions with packets outstanding (incomplete or
 // not yet committed).
 func (p *P3) PendingTxns() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.pending)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Delete removes the primary object; provenance is untouched.

@@ -14,6 +14,7 @@ package pass
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"passcloud/internal/prov"
@@ -33,6 +34,14 @@ type objectState struct {
 // Collector turns trace events into a provenance graph. It also plays the
 // role of the client-side provenance cache: bundles accumulate in memory
 // until the storage layer takes them at close/flush time.
+//
+// The per-close work is kept incremental: the collector maintains, as edges
+// and nodes are added, a per-node dependency-edge set (O(1) duplicate-edge
+// checks on the hot read/write path), a per-node parent list pre-sorted in
+// the canonical ref-string order (no re-sort per closure visit), and a
+// per-object list of dirty — created but not yet recorded — versions (the
+// roots of PendingFor without re-scanning the version range). Closure walks
+// are iterative, so arbitrarily deep version chains cannot blow the stack.
 type Collector struct {
 	src   uuid.Source
 	graph *prov.Graph
@@ -43,6 +52,22 @@ type Collector struct {
 	// recorded marks node versions already handed to (and accepted by) the
 	// storage layer; everything else is dirty client-side state.
 	recorded map[prov.Ref]bool
+
+	// edges is the dependency-edge set of each node: every xref the node
+	// carries, regardless of attribute. It answers hasInput in O(1).
+	edges map[prov.Ref]map[prov.Ref]bool
+
+	// parents caches each node's parent refs, sorted lazily into the
+	// canonical ref-string order the closure walks visit them in: inserts
+	// are O(1) appends that clear the sorted flag, and a node re-sorts at
+	// most once per closure since its last new edge — so a high-fan-in
+	// node (a process reading thousands of files) stays linear per event.
+	parents map[prov.Ref]*parentList
+
+	// dirty lists the unrecorded versions of each object, oldest first
+	// (versions are created in ascending order); PendingFor reads its roots
+	// here and compacts recorded entries out lazily.
+	dirty map[uuid.UUID][]prov.Ref
 
 	clock func() time.Duration // start-time attribution for processes
 }
@@ -56,6 +81,9 @@ func New(src uuid.Source, clock func() time.Duration) *Collector {
 		procs:    make(map[int]*objectState),
 		files:    make(map[string]*objectState),
 		recorded: make(map[prov.Ref]bool),
+		edges:    make(map[prov.Ref]map[prov.Ref]bool),
+		parents:  make(map[prov.Ref]*parentList),
+		dirty:    make(map[uuid.UUID][]prov.Ref),
 		clock:    clock,
 	}
 	if c.clock == nil {
@@ -119,7 +147,7 @@ func (c *Collector) Apply(ev trace.Event) error {
 	return nil
 }
 
-// newNode allocates and inserts a fresh node version.
+// newNode allocates and inserts a fresh node version, marking it dirty.
 func (c *Collector) newNode(u uuid.UUID, version int, typ prov.ObjectType, name string) *prov.Node {
 	n := &prov.Node{Ref: prov.Ref{UUID: u, Version: version}, Type: typ, Name: name}
 	n.Records = append(n.Records, prov.Record{Attr: prov.AttrType, Value: typ.String()})
@@ -130,7 +158,71 @@ func (c *Collector) newNode(u uuid.UUID, version int, typ prov.ObjectType, name 
 		// Version allocation is internal; a collision is a bug.
 		panic(err)
 	}
+	c.dirty[u] = append(c.dirty[u], n.Ref)
 	return n
+}
+
+// addXref records one dependency edge in the graph and in the collector's
+// incremental edge set and sorted-parent cache.
+func (c *Collector) addXref(from prov.Ref, attr string, to prov.Ref) {
+	if err := c.graph.AddRecord(from, prov.Record{Attr: attr, Xref: to}); err != nil {
+		// Edges are only added to nodes the collector created; a miss is a bug.
+		panic(err)
+	}
+	es := c.edges[from]
+	if es == nil {
+		es = make(map[prov.Ref]bool, 4)
+		c.edges[from] = es
+	}
+	if es[to] {
+		// A second edge to the same parent under a different attribute
+		// (e.g. execfile plus prev) changes no closure order.
+		return
+	}
+	es[to] = true
+	pl := c.parents[from]
+	if pl == nil {
+		pl = &parentList{}
+		c.parents[from] = pl
+	}
+	pl.refs = append(pl.refs, to)
+	pl.sorted = len(pl.refs) == 1
+}
+
+// parentList is one node's parent refs plus a lazily-maintained sort flag.
+type parentList struct {
+	refs   []prov.Ref
+	sorted bool
+}
+
+// sortedParents returns a node's parents in canonical ref-string order,
+// sorting on first use after an insert.
+func (c *Collector) sortedParents(r prov.Ref) []prov.Ref {
+	pl := c.parents[r]
+	if pl == nil {
+		return nil
+	}
+	if !pl.sorted {
+		sort.Slice(pl.refs, func(i, j int) bool { return refStringLess(pl.refs[i], pl.refs[j]) })
+		pl.sorted = true
+	}
+	return pl.refs
+}
+
+// refStringLess orders refs exactly as comparing their String() forms
+// would — the uuid's hex rendering preserves byte order and both strings
+// share the dash layout, so only a same-uuid tie needs the rendered
+// decimal version suffixes — without allocating for the common case.
+func refStringLess(a, b prov.Ref) bool {
+	for i := range a.UUID {
+		if a.UUID[i] != b.UUID[i] {
+			return a.UUID[i] < b.UUID[i]
+		}
+	}
+	if a.Version == b.Version {
+		return false
+	}
+	return strconv.Itoa(a.Version) < strconv.Itoa(b.Version)
 }
 
 // exec creates (or re-versions) the process node for pid with the full
@@ -151,7 +243,7 @@ func (c *Collector) exec(ev trace.Event) {
 	st.name = name
 	n := c.newNode(st.ref.UUID, st.ref.Version, prov.Process, name)
 	if prevRef.Version > 0 {
-		n.Records = append(n.Records, prov.Record{Attr: prov.AttrPrevVer, Xref: prevRef})
+		c.addXref(st.ref, prov.AttrPrevVer, prevRef)
 	}
 	n.Records = append(n.Records,
 		prov.Record{Attr: prov.AttrPID, Value: fmt.Sprint(ev.PID)},
@@ -165,7 +257,7 @@ func (c *Collector) exec(ev trace.Event) {
 	}
 	// The executed binary is an input if it is a tracked file.
 	if bin, ok := c.files[ev.Path]; ok && !bin.removed {
-		c.graph.AddRecord(st.ref, prov.Record{Attr: prov.AttrExecFile, Xref: bin.ref})
+		c.addXref(st.ref, prov.AttrExecFile, bin.ref)
 	}
 }
 
@@ -181,10 +273,8 @@ func (c *Collector) fork(ev trace.Event) {
 	child := &objectState{typ: prov.Process, ref: prov.Ref{UUID: uuid.New(c.src), Version: 1}, name: parent.name}
 	c.procs[ev.Child] = child
 	n := c.newNode(child.ref.UUID, 1, prov.Process, parent.name)
-	n.Records = append(n.Records,
-		prov.Record{Attr: prov.AttrPID, Value: fmt.Sprint(ev.Child)},
-		prov.Record{Attr: prov.AttrForkParent, Xref: parent.ref},
-	)
+	n.Records = append(n.Records, prov.Record{Attr: prov.AttrPID, Value: fmt.Sprint(ev.Child)})
+	c.addXref(child.ref, prov.AttrForkParent, parent.ref)
 }
 
 // fileState returns (creating on demand) the state for path.
@@ -222,7 +312,7 @@ func (c *Collector) read(pid int, path string) {
 	if c.graph.Reachable(f.ref, p.ref) {
 		c.bumpProc(p)
 	}
-	c.graph.AddRecord(p.ref, prov.Record{Attr: prov.AttrInput, Xref: f.ref})
+	c.addXref(p.ref, prov.AttrInput, f.ref)
 }
 
 // write records "file depends on process". If the process already depends on
@@ -239,37 +329,31 @@ func (c *Collector) write(pid int, path string, n int64) {
 	if c.graph.Reachable(p.ref, f.ref) {
 		c.bumpFile(f)
 	}
-	c.graph.AddRecord(f.ref, prov.Record{Attr: prov.AttrInput, Xref: p.ref})
+	c.addXref(f.ref, prov.AttrInput, p.ref)
 }
 
 // bumpProc creates the next version node of a process.
 func (c *Collector) bumpProc(p *objectState) {
 	prev := p.ref
 	p.ref = prov.Ref{UUID: prev.UUID, Version: prev.Version + 1}
-	n := c.newNode(p.ref.UUID, p.ref.Version, prov.Process, p.name)
-	n.Records = append(n.Records, prov.Record{Attr: prov.AttrPrevVer, Xref: prev})
+	c.newNode(p.ref.UUID, p.ref.Version, prov.Process, p.name)
+	c.addXref(p.ref, prov.AttrPrevVer, prev)
 }
 
 // bumpFile creates the next version node of a file or pipe.
 func (c *Collector) bumpFile(f *objectState) {
 	prev := f.ref
 	f.ref = prov.Ref{UUID: prev.UUID, Version: prev.Version + 1}
-	n := c.newNode(f.ref.UUID, f.ref.Version, f.typ, f.name)
-	n.Records = append(n.Records, prov.Record{Attr: prov.AttrPrevVer, Xref: prev})
+	c.newNode(f.ref.UUID, f.ref.Version, f.typ, f.name)
+	c.addXref(f.ref, prov.AttrPrevVer, prev)
 }
 
-// hasInput reports whether from already carries an input edge to to.
+// hasInput reports whether from already carries a dependency edge to to. It
+// answers from the incremental edge set in O(1); the seed implementation
+// scanned every record of the node per read/write event, which dominated
+// collection time on large traces.
 func (c *Collector) hasInput(from, to prov.Ref) bool {
-	n := c.graph.Node(from)
-	if n == nil {
-		return false
-	}
-	for _, r := range n.Records {
-		if r.IsXref() && r.Xref == to {
-			return true
-		}
-	}
-	return false
+	return c.edges[from][to]
 }
 
 // mkpipe creates a pipe node (pipes have no name attribute in PASS; the
@@ -314,21 +398,36 @@ func (c *Collector) Recorded(ref prov.Ref) bool { return c.recorded[ref] }
 // unrecorded ancestor closure (process nodes, prior versions, upstream
 // files), ancestors first. This is the multi-object causal ordering set of
 // §3: the storage layer must write these before (or atomically with) the
-// object.
+// object. The roots come from the incremental dirty list, so a close costs
+// time proportional to the unrecorded fringe, not the object's version
+// count.
 func (c *Collector) PendingFor(path string) []prov.Bundle {
 	st, ok := c.files[path]
 	if !ok {
 		return nil
 	}
-	// Gather unrecorded versions of this file (oldest first) as roots.
-	var roots []prov.Ref
-	for v := 1; v <= st.ref.Version; v++ {
-		r := prov.Ref{UUID: st.ref.UUID, Version: v}
-		if !c.recorded[r] && c.graph.Node(r) != nil {
-			roots = append(roots, r)
+	return c.closure(c.dirtyVersions(st.ref.UUID))
+}
+
+// dirtyVersions returns the unrecorded versions of one object, oldest
+// first, compacting recorded entries out of the dirty list as it goes.
+func (c *Collector) dirtyVersions(u uuid.UUID) []prov.Ref {
+	list := c.dirty[u]
+	if len(list) == 0 {
+		return nil
+	}
+	kept := list[:0]
+	for _, r := range list {
+		if !c.recorded[r] {
+			kept = append(kept, r)
 		}
 	}
-	return c.closure(roots)
+	if len(kept) == 0 {
+		delete(c.dirty, u)
+		return nil
+	}
+	c.dirty[u] = kept
+	return kept
 }
 
 // PendingAll returns every unrecorded bundle in the graph, ancestors first.
@@ -354,60 +453,83 @@ func (c *Collector) FullClosureFor(path string) []prov.Bundle {
 	if !ok {
 		return nil
 	}
-	var order []prov.Bundle
-	state := make(map[prov.Ref]int)
-	var visit func(prov.Ref)
-	visit = func(r prov.Ref) {
-		state[r] = 1
-		n := c.graph.Node(r)
-		if n == nil {
-			return
-		}
-		parents := c.graph.Parents(r)
-		sort.Slice(parents, func(i, j int) bool { return parents[i].String() < parents[j].String() })
-		for _, p := range parents {
-			if state[p] == 0 {
-				visit(p)
-			}
-		}
-		state[r] = 2
-		order = append(order, n.Bundle())
-	}
+	var roots []prov.Ref
 	for v := 1; v <= st.ref.Version; v++ {
 		r := prov.Ref{UUID: st.ref.UUID, Version: v}
-		if state[r] == 0 && c.graph.Node(r) != nil {
-			visit(r)
+		if c.graph.Node(r) != nil {
+			roots = append(roots, r)
 		}
 	}
-	return order
-}
-
-// closure expands roots with their unrecorded ancestors in topological
-// (ancestors-first) order.
-func (c *Collector) closure(roots []prov.Ref) []prov.Bundle {
-	var order []prov.Ref
-	state := make(map[prov.Ref]int)
-	var visit func(prov.Ref)
-	visit = func(r prov.Ref) {
-		state[r] = 1
-		parents := c.graph.Parents(r)
-		sort.Slice(parents, func(i, j int) bool { return parents[i].String() < parents[j].String() })
-		for _, p := range parents {
-			if state[p] == 0 && !c.recorded[p] && c.graph.Node(p) != nil {
-				visit(p)
-			}
-		}
-		state[r] = 2
-		order = append(order, r)
-	}
-	for _, r := range roots {
-		if state[r] == 0 {
-			visit(r)
-		}
-	}
+	order := c.walkAncestorsFirst(roots, false)
 	bundles := make([]prov.Bundle, 0, len(order))
 	for _, r := range order {
 		bundles = append(bundles, c.graph.Node(r).Bundle())
 	}
 	return bundles
+}
+
+// closure expands roots with their unrecorded ancestors in topological
+// (ancestors-first) order.
+func (c *Collector) closure(roots []prov.Ref) []prov.Bundle {
+	order := c.walkAncestorsFirst(roots, true)
+	bundles := make([]prov.Bundle, 0, len(order))
+	for _, r := range order {
+		bundles = append(bundles, c.graph.Node(r).Bundle())
+	}
+	return bundles
+}
+
+// walkAncestorsFirst is the shared DFS of the closure assemblers: parents in
+// canonical (pre-sorted ref-string) order, ancestors emitted before their
+// descendants, every node visited once. unrecordedOnly prunes at recorded
+// nodes, which is what bounds PendingFor to the dirty fringe. The walk is
+// iterative with an explicit frame stack so a version chain tens of
+// thousands deep — a long-running process appending to one log file, say —
+// cannot overflow the goroutine stack the way the seed's recursion could.
+func (c *Collector) walkAncestorsFirst(roots []prov.Ref, unrecordedOnly bool) []prov.Ref {
+	if len(roots) == 0 {
+		return nil
+	}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	var order []prov.Ref
+	state := make(map[prov.Ref]int)
+	type frame struct {
+		ref     prov.Ref
+		parents []prov.Ref
+		next    int
+	}
+	stack := make([]frame, 0, 64)
+	push := func(r prov.Ref) {
+		state[r] = visiting
+		stack = append(stack, frame{ref: r, parents: c.sortedParents(r)})
+	}
+	for _, r := range roots {
+		if state[r] != 0 {
+			continue
+		}
+		push(r)
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			descended := false
+			for f.next < len(f.parents) {
+				p := f.parents[f.next]
+				f.next++
+				if state[p] == 0 && (!unrecordedOnly || !c.recorded[p]) && c.graph.Node(p) != nil {
+					push(p) // f is invalid past this point (stack may grow)
+					descended = true
+					break
+				}
+			}
+			if descended {
+				continue
+			}
+			state[f.ref] = done
+			order = append(order, f.ref)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order
 }

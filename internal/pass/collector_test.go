@@ -298,3 +298,102 @@ func TestVersionsMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeepVersionChainClosure drives one process through tens of thousands
+// of read-then-write cycles on a single file — the long-running-appender
+// shape that builds an arbitrarily deep prev-version chain — and checks the
+// iterative closure walks survive it and keep the canonical order.
+func TestDeepVersionChainClosure(t *testing.T) {
+	const depth = 30_000
+	c := newCollector()
+	c.Apply(trace.Event{Kind: trace.Exec, PID: 1, Path: "/bin/app", Argv: []string{"app"}})
+	for i := 0; i < depth; i++ {
+		c.Apply(trace.Event{Kind: trace.Read, PID: 1, Path: "mnt/log"})
+		c.Apply(trace.Event{Kind: trace.Write, PID: 1, Path: "mnt/log", Bytes: 1})
+	}
+	ref, ok := c.FileRef("mnt/log")
+	if !ok || ref.Version < depth {
+		t.Fatalf("file version = %v ok=%v, want >= %d", ref, ok, depth)
+	}
+	bundles := c.PendingFor("mnt/log")
+	if len(bundles) < depth {
+		t.Fatalf("closure returned %d bundles, want >= %d", len(bundles), depth)
+	}
+	// Ancestors first: every xref must point at an already-emitted bundle.
+	seen := make(map[prov.Ref]bool, len(bundles))
+	for _, b := range bundles {
+		for _, r := range b.Records {
+			if r.IsXref() && !seen[r.Xref] {
+				t.Fatalf("bundle %s references %s before it was emitted", b.Ref, r.Xref)
+			}
+		}
+		seen[b.Ref] = true
+	}
+	// The full closure must emit the same nodes in the same order as the
+	// pending closure when nothing is recorded yet (the Merkle digest and
+	// its verifier both depend on this canonical order).
+	full := c.FullClosureFor("mnt/log")
+	if len(full) != len(bundles) {
+		t.Fatalf("full closure %d bundles vs pending %d", len(full), len(bundles))
+	}
+	for i := range full {
+		if full[i].Ref != bundles[i].Ref {
+			t.Fatalf("order diverges at %d: %s vs %s", i, full[i].Ref, bundles[i].Ref)
+		}
+	}
+}
+
+// TestPendingForIsIncremental checks that recording versions shrinks the
+// dirty fringe: a second close after MarkRecorded must hand over only the
+// versions created since, not re-walk the recorded history.
+func TestPendingForIsIncremental(t *testing.T) {
+	c := newCollector()
+	c.Apply(trace.Event{Kind: trace.Exec, PID: 1, Path: "/bin/app", Argv: []string{"app"}})
+	for i := 0; i < 50; i++ {
+		c.Apply(trace.Event{Kind: trace.Read, PID: 1, Path: "f"})
+		c.Apply(trace.Event{Kind: trace.Write, PID: 1, Path: "f", Bytes: 1})
+	}
+	first := c.PendingFor("f")
+	if len(first) == 0 {
+		t.Fatal("no pending bundles")
+	}
+	for _, b := range first {
+		c.MarkRecorded(b.Ref)
+	}
+	if again := c.PendingFor("f"); len(again) != 0 {
+		t.Fatalf("second close re-handed %d recorded bundles", len(again))
+	}
+	// New activity dirties only the new fringe.
+	c.Apply(trace.Event{Kind: trace.Read, PID: 1, Path: "f"})
+	c.Apply(trace.Event{Kind: trace.Write, PID: 1, Path: "f", Bytes: 1})
+	delta := c.PendingFor("f")
+	if len(delta) == 0 || len(delta) >= len(first) {
+		t.Fatalf("incremental close returned %d bundles (first close %d)", len(delta), len(first))
+	}
+	for _, b := range delta {
+		if c.Recorded(b.Ref) {
+			t.Fatalf("recorded bundle %s handed over again", b.Ref)
+		}
+	}
+}
+
+// TestDuplicateEdgesDeduplicated checks the O(1) edge set dedups repeated
+// reads and writes exactly as the seed's record scan did.
+func TestDuplicateEdgesDeduplicated(t *testing.T) {
+	c := newCollector()
+	c.Apply(trace.Event{Kind: trace.Exec, PID: 1, Path: "/bin/cat", Argv: []string{"cat"}})
+	for i := 0; i < 10; i++ {
+		c.Apply(trace.Event{Kind: trace.Read, PID: 1, Path: "in"})
+	}
+	pref, _ := c.ProcRef(1)
+	n := c.Graph().Node(pref)
+	inputs := 0
+	for _, r := range n.Records {
+		if r.Attr == prov.AttrInput {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		t.Fatalf("repeated reads recorded %d input edges, want 1", inputs)
+	}
+}
