@@ -212,6 +212,64 @@ func BenchmarkCommitPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedWrite replays the ≥50k-event commit workload through P3
+// on the K=1 seed fabric and on K-way sharded fabrics (K WAL queues + K
+// SimpleDB domains, each its own rate-gated service partition), reports the
+// headline numbers, and records the comparison in BENCH_sharded_write.json
+// at the repository root.
+func BenchmarkShardedWrite(b *testing.B) {
+	const (
+		txns          = 790
+		bundlesPerTxn = 64 // 50,560 events
+		workers       = 16
+		clientConns   = 128
+	)
+	for i := 0; i < b.N; i++ {
+		runs := make(map[string]bench.ShardedWriteRun, 3)
+		var k1 bench.ShardedWriteRun
+		for _, k := range []int{1, 2, 4} {
+			run, err := bench.ShardedWrite(7, txns, bundlesPerTxn, workers, clientConns, 0,
+				core.Topology{WALShards: k, DBShards: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The ≥2x acceptance gate lives in TestShardedWriteSpeedup; the
+			// benchmark only measures and records, so a regression still
+			// gets written to the JSON instead of aborting the run.
+			// Identical provenance is non-negotiable even here.
+			if k == 1 {
+				k1 = run
+			} else if run.ProvDigest != k1.ProvDigest {
+				b.Fatalf("provenance diverged at K=%d: %s vs %s", k, run.ProvDigest, k1.ProvDigest)
+			}
+			runs[fmt.Sprintf("k%d", k)] = run
+			b.ReportMetric(run.SimSeconds, fmt.Sprintf("sim-s-k%d", k))
+		}
+		k4 := runs["k4"]
+		b.ReportMetric(k1.SimSeconds/k4.SimSeconds, "sim-speedup-x")
+		b.ReportMetric(float64(k4.TotalOps)/float64(k1.TotalOps), "billed-ops-ratio")
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkShardedWrite",
+			"command":   "go test -run=- -bench=BenchmarkShardedWrite -benchtime=1x",
+			"runs":      runs,
+			"speedup": map[string]float64{
+				"sim_k2":           k1.SimSeconds / runs["k2"].SimSeconds,
+				"sim_k4":           k1.SimSeconds / k4.SimSeconds,
+				"wall_k4":          k1.WallSeconds / k4.WallSeconds,
+				"billed_ops_ratio": float64(k4.TotalOps) / float64(k1.TotalOps),
+				"cost_ratio":       k4.CostUSD / k1.CostUSD,
+			},
+			"provenance_identical": k1.ProvDigest == k4.ProvDigest,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_sharded_write.json", out, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig3Micro runs the protocol microbenchmark (Figure 3).
 func BenchmarkFig3Micro(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"passcloud/internal/core"
+)
+
+// TestShardedWriteIdentical is the always-on correctness check: the same
+// transaction set committed through K=1, K=2 and K=4 fabrics must land
+// byte-identically — identical ReadProvenance digests regardless of how the
+// items and WAL traffic were sharded.
+func TestShardedWriteIdentical(t *testing.T) {
+	var first ShardedWriteRun
+	for i, k := range []int{1, 2, 4} {
+		run, err := ShardedWrite(7, 24, 16, 4, 64, 800, core.Topology{WALShards: k, DBShards: k})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if run.ProvDigest == "" {
+			t.Fatalf("K=%d: empty digest", k)
+		}
+		if i == 0 {
+			first = run
+			continue
+		}
+		if run.ProvDigest != first.ProvDigest {
+			t.Errorf("K=%d digest %s differs from K=1 %s", k, run.ProvDigest, first.ProvDigest)
+		}
+	}
+}
+
+// TestShardedWriteSpeedup is the acceptance gate for the sharded fabric at
+// full scale: on the 50k-event workload, K=4 WAL shards + K=4 domains must
+// cut simulated commit-path time by ≥2x versus the K=1 topology while
+// keeping billed requests in the same ballpark (sharding spreads load, it
+// must not multiply requests) and provenance byte-identical.
+func TestShardedWriteSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N benchmark")
+	}
+	const (
+		txns          = 790
+		bundlesPerTxn = 64 // 50,560 events
+		workers       = 16
+	)
+	k1, err := ShardedWrite(7, txns, bundlesPerTxn, workers, 128, 0, core.Topology{WALShards: 1, DBShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := ShardedWrite(7, txns, bundlesPerTxn, workers, 128, 0, core.Topology{WALShards: 4, DBShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("K=1: sim=%.1fs wall=%.2fs ops=%d sqs=%d sdb-batches=%d $%.4f",
+		k1.SimSeconds, k1.WallSeconds, k1.TotalOps, k1.SQSRequests, k1.SDBBatchCalls, k1.CostUSD)
+	t.Logf("K=4: sim=%.1fs wall=%.2fs ops=%d sqs=%d sdb-batches=%d $%.4f (%.1fx sim)",
+		k4.SimSeconds, k4.WallSeconds, k4.TotalOps, k4.SQSRequests, k4.SDBBatchCalls, k4.CostUSD,
+		k1.SimSeconds/k4.SimSeconds)
+	if k1.Events < 50_000 {
+		t.Fatalf("only %d events, want >= 50000", k1.Events)
+	}
+	if k1.ProvDigest != k4.ProvDigest || k1.ProvDigest == "" {
+		t.Fatalf("provenance diverged across topologies: %s vs %s", k1.ProvDigest, k4.ProvDigest)
+	}
+	if k1.SimSeconds < 2*k4.SimSeconds {
+		t.Errorf("simulated time: K=1 %.1fs vs K=4 %.1fs — %.2fx, want >= 2x",
+			k1.SimSeconds, k4.SimSeconds, k1.SimSeconds/k4.SimSeconds)
+	}
+	// Sharding must spread requests, not multiply them: the billed request
+	// count may only drift a little (shard-boundary batch splits).
+	if float64(k4.TotalOps) > 1.15*float64(k1.TotalOps) {
+		t.Errorf("billed requests ballooned: K=4 %d vs K=1 %d", k4.TotalOps, k1.TotalOps)
+	}
+	// The domain load must actually spread: every domain shard saw traffic.
+	for _, dom := range []string{"prov-0", "prov-1", "prov-2", "prov-3"} {
+		if k4.OpsByShard[dom] == 0 {
+			t.Errorf("domain shard %s saw no requests: %v", dom, k4.OpsByShard)
+		}
+	}
+	for _, q := range []string{"wal-0", "wal-1", "wal-2", "wal-3"} {
+		if k4.OpsByShard[q] == 0 {
+			t.Errorf("WAL shard %s saw no requests: %v", q, k4.OpsByShard)
+		}
+	}
+}

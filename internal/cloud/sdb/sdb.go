@@ -86,6 +86,7 @@ type itemVersion struct {
 type Domain struct {
 	env  *sim.Env
 	name string
+	lane int // rate-gate lane: each domain is its own service partition
 
 	mu        sync.Mutex
 	items     map[string][]*itemVersion
@@ -101,13 +102,30 @@ type Domain struct {
 
 // New creates an empty domain.
 func New(env *sim.Env, name string) *Domain {
+	return NewLane(env, name, 0)
+}
+
+// NewLane creates an empty domain on a specific rate-gate lane. Domains on
+// distinct lanes have independent request-rate ceilings — the real service
+// throttles per domain (the ~7 BatchPut/s write gate the paper measured is a
+// per-domain limit), which is what makes K-way domain sharding scale the
+// commit path. Lane 0 shares the environment's default SimpleDB gates.
+func NewLane(env *sim.Env, name string, lane int) *Domain {
 	return &Domain{
 		env:   env,
 		name:  name,
+		lane:  lane,
 		items: make(map[string][]*itemVersion),
 		idx:   make(map[string]*attrIndex),
 		plans: make(map[string]*Query),
 	}
+}
+
+// count charges one request of the named kind to the meter, both per-kind
+// and against this domain's endpoint (per-shard load reporting).
+func (d *Domain) count(kind string, payload int64) {
+	d.env.Meter().CountOp(kind, payload)
+	d.env.Meter().CountEndpointOp(d.name)
 }
 
 // SetForceScan disables the secondary indexes so every SELECT walks the
@@ -153,8 +171,8 @@ func (d *Domain) PutAttributes(req PutRequest) error {
 		return err
 	}
 	payload := Item{Name: req.Item, Attrs: req.Attrs}.size()
-	d.env.Exec(sim.OpSDBPut, payload)
-	d.env.Meter().CountOp("sdb.PutAttributes", int64(payload))
+	d.env.ExecLane(sim.OpSDBPut, payload, d.lane)
+	d.count("sdb.PutAttributes", int64(payload))
 	d.mu.Lock()
 	d.applyLocked(req)
 	d.mu.Unlock()
@@ -175,11 +193,11 @@ func (d *Domain) BatchPutAttributes(reqs []PutRequest) error {
 		}
 		payload += Item{Name: r.Item, Attrs: r.Attrs}.size()
 	}
-	d.env.Exec(sim.OpSDBBatchPut, payload)
+	d.env.ExecLane(sim.OpSDBBatchPut, payload, d.lane)
 	if extra := d.env.Model().BatchItemLatency(len(reqs)); extra > 0 {
 		d.env.Clock().Sleep(extra)
 	}
-	d.env.Meter().CountOp("sdb.BatchPutAttributes", int64(payload))
+	d.count("sdb.BatchPutAttributes", int64(payload))
 	d.mu.Lock()
 	for _, r := range reqs {
 		d.applyLocked(r)
@@ -258,8 +276,8 @@ func (d *Domain) GetAttributes(item string) (Item, error) {
 	if ok {
 		payload = it.size()
 	}
-	d.env.Exec(sim.OpSDBGet, payload)
-	d.env.Meter().CountOp("sdb.GetAttributes", int64(payload))
+	d.env.ExecLane(sim.OpSDBGet, payload, d.lane)
+	d.count("sdb.GetAttributes", int64(payload))
 	if !ok {
 		return Item{}, fmt.Errorf("%w: %s", ErrNoSuchItem, item)
 	}
@@ -268,8 +286,8 @@ func (d *Domain) GetAttributes(item string) (Item, error) {
 
 // DeleteAttributes removes an entire item (the only form the protocols use).
 func (d *Domain) DeleteAttributes(item string) error {
-	d.env.Exec(sim.OpSDBDelete, 0)
-	d.env.Meter().CountOp("sdb.DeleteAttributes", 0)
+	d.env.ExecLane(sim.OpSDBDelete, 0, d.lane)
+	d.count("sdb.DeleteAttributes", 0)
 	now := d.env.Now()
 	d.mu.Lock()
 	if len(d.items[item]) > 0 {
@@ -417,14 +435,14 @@ func (d *Domain) selectPage(q *Query, nextToken string) (SelectPage, error) {
 	d.mu.Unlock()
 
 	page.Bytes = bytes
-	d.env.Exec(sim.OpSDBSelect, bytes)
+	d.env.ExecLane(sim.OpSDBSelect, bytes, d.lane)
 	// The query engine's work scales with the items the access path
 	// examined — the whole table for a scan, only the predicate's
 	// candidates for an indexed path.
 	if extra := d.env.Model().SelectScanLatency(examined); extra > 0 {
 		d.env.Clock().Sleep(extra)
 	}
-	d.env.Meter().CountOp("sdb.Select", int64(bytes))
+	d.count("sdb.Select", int64(bytes))
 	return page, nil
 }
 

@@ -1,0 +1,299 @@
+package sdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"passcloud/internal/sim"
+)
+
+// DomainSet is a K-way sharded set of domains acting as one logical domain.
+// Items are partitioned by the uuid prefix of their name (everything before
+// the first '_', so every version of an object shares a shard), each shard
+// being a distinct service domain with its own write-rate ceiling (its own
+// gate lane). A K-way set therefore absorbs K times the BatchPutAttributes
+// rate of a single domain — the paper's ~7 batch-calls-per-second write gate
+// is a per-domain limit and the hard floor of the single-domain commit path.
+//
+// Discovery is by convention: shard i of logical domain "prov" is the
+// service domain "prov-i" (K == 1 keeps the bare name, so the seed topology
+// is byte-identical). Reads route the same way writes do:
+//
+//   - single-key lookups (GetAttributes, a uuid-prefix SELECT) go to the
+//     key's home shard only;
+//   - multi-shard SELECTs scatter to every shard in parallel and merge the
+//     per-shard pages — each shard streams its items in ascending name
+//     order, so a k-way merge by name reproduces exactly the canonical
+//     order a single domain would return. Query results are therefore
+//     byte-identical across shard counts.
+//
+// Queries name the logical domain; the set rewrites them to the shard's
+// service domain before dispatch.
+type DomainSet struct {
+	env    *sim.Env
+	base   string
+	shards []*Domain
+}
+
+// NewSet creates a K-way domain set. k < 1 is clamped to 1; k == 1 yields a
+// single domain named base (the seed topology).
+func NewSet(env *sim.Env, base string, k int) *DomainSet {
+	if k < 1 {
+		k = 1
+	}
+	s := &DomainSet{env: env, base: base, shards: make([]*Domain, k)}
+	for i := range s.shards {
+		name := base
+		if k > 1 {
+			name = fmt.Sprintf("%s-%d", base, i)
+		}
+		s.shards[i] = NewLane(env, name, i)
+	}
+	return s
+}
+
+// Env returns the environment the set charges against.
+func (s *DomainSet) Env() *sim.Env { return s.env }
+
+// Base returns the logical domain name queries address.
+func (s *DomainSet) Base() string { return s.base }
+
+// Shards reports the number of domain shards.
+func (s *DomainSet) Shards() int { return len(s.shards) }
+
+// Shard returns shard i.
+func (s *DomainSet) Shard(i int) *Domain { return s.shards[i] }
+
+// routeKey extracts the routing key from an item name: the uuid prefix of a
+// uuid_version name, or the whole name. Routing on the uuid keeps every
+// version of an object in one shard, so per-object reads never scatter.
+func routeKey(item string) string {
+	if i := strings.IndexByte(item, '_'); i >= 0 {
+		return item[:i]
+	}
+	return item
+}
+
+// ShardForItem routes an item name to its home shard.
+func (s *DomainSet) ShardForItem(item string) int {
+	return sim.ShardOf(routeKey(item), len(s.shards))
+}
+
+// ShardForKey routes a raw routing key (an object uuid) to its home shard.
+func (s *DomainSet) ShardForKey(key string) int {
+	return sim.ShardOf(key, len(s.shards))
+}
+
+// SetForceScan toggles the index-disabling ablation on every shard.
+func (s *DomainSet) SetForceScan(v bool) {
+	for _, d := range s.shards {
+		d.SetForceScan(v)
+	}
+}
+
+// PutAttributes writes one item to its home shard.
+func (s *DomainSet) PutAttributes(req PutRequest) error {
+	return s.shards[s.ShardForItem(req.Item)].PutAttributes(req)
+}
+
+// BatchPutAttributes writes up to 25 items, splitting the batch by home
+// shard: each shard receives one call carrying its items. With K == 1 this
+// is exactly one service call; with K > 1 a mixed batch becomes up to K
+// smaller calls (the commit path avoids that by filling per-shard batches
+// before calling — see core's putItems).
+func (s *DomainSet) BatchPutAttributes(reqs []PutRequest) error {
+	if len(reqs) > MaxBatchItems {
+		return ErrBatchTooLarge
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].BatchPutAttributes(reqs)
+	}
+	perShard := make(map[int][]PutRequest)
+	for _, r := range reqs {
+		sh := s.ShardForItem(r.Item)
+		perShard[sh] = append(perShard[sh], r)
+	}
+	for sh, rs := range perShard {
+		if err := s.shards[sh].BatchPutAttributes(rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetAttributes reads one item from its home shard.
+func (s *DomainSet) GetAttributes(item string) (Item, error) {
+	return s.shards[s.ShardForItem(item)].GetAttributes(item)
+}
+
+// DeleteAttributes removes one item from its home shard.
+func (s *DomainSet) DeleteAttributes(item string) error {
+	return s.shards[s.ShardForItem(item)].DeleteAttributes(item)
+}
+
+// ItemCount sums the live items across all shards.
+func (s *DomainSet) ItemCount() int {
+	n := 0
+	for _, d := range s.shards {
+		n += d.ItemCount()
+	}
+	return n
+}
+
+// rebase validates that a query addresses the logical domain and returns a
+// copy addressed to one shard's service domain.
+func (s *DomainSet) rebase(q Query, shard int) (Query, error) {
+	if q.Domain != s.base {
+		return q, fmt.Errorf("sdb: unknown domain %q in select", q.Domain)
+	}
+	q.Domain = s.shards[shard].Name()
+	return q, nil
+}
+
+// SelectAllRouted drains a query against the home shard of key only — the
+// plan for single-object lookups (a uuid-prefix SELECT touches exactly one
+// shard by construction, so scattering would waste K-1 requests).
+func (s *DomainSet) SelectAllRouted(key string, q Query) (items []Item, requests int, bytes int, err error) {
+	sq, err := s.rebase(q, s.ShardForKey(key))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s.shards[s.ShardForKey(key)].SelectAllQuery(sq)
+}
+
+// SelectAllQuery drains a query against every shard in parallel and merges
+// the per-shard results by item name, reproducing the canonical single-
+// domain order. Request and byte counts are summed across shards.
+func (s *DomainSet) SelectAllQuery(q Query) (items []Item, requests int, bytes int, err error) {
+	if len(s.shards) == 1 {
+		sq, err := s.rebase(q, 0)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return s.shards[0].SelectAllQuery(sq)
+	}
+	type result struct {
+		items []Item
+		reqs  int
+		bytes int
+		err   error
+	}
+	results := make([]result, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		sq, err := s.rebase(q, i)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		i, sq := i, sq
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &results[i]
+			r.items, r.reqs, r.bytes, r.err = s.shards[i].SelectAllQuery(sq)
+		}()
+	}
+	wg.Wait()
+	lists := make([][]Item, 0, len(results))
+	for i := range results {
+		if results[i].err != nil {
+			return nil, 0, 0, results[i].err
+		}
+		requests += results[i].reqs
+		bytes += results[i].bytes
+		lists = append(lists, results[i].items)
+	}
+	return mergeByName(lists), requests, bytes, nil
+}
+
+// SelectAll drains every page of a SELECT expression across all shards,
+// merged into canonical name order. Expressions are parsed through shard
+// 0's parsed-query cache (K == 1 delegates outright, so the shard both
+// parses and validates the domain name exactly as the seed did).
+func (s *DomainSet) SelectAll(expr string) (items []Item, requests int, bytes int, err error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].SelectAll(expr)
+	}
+	q, err := s.shards[0].cachedParse(expr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s.SelectAllQuery(*q)
+}
+
+// Select runs one page of a SELECT expression. With one shard this is the
+// domain's native paged SELECT. With K > 1 the shards are drained in shard
+// order — the continuation token carries the shard index — so pages arrive
+// shard-grouped rather than globally name-ordered; callers needing the
+// canonical order use SelectAll/SelectAllQuery.
+func (s *DomainSet) Select(expr, nextToken string) (SelectPage, error) {
+	if len(s.shards) == 1 {
+		return s.shards[0].Select(expr, nextToken)
+	}
+	// Parse through shard 0's cache: a paged drain re-enters once per page
+	// with the same expression.
+	cached, err := s.shards[0].cachedParse(expr)
+	if err != nil {
+		return SelectPage{}, err
+	}
+	q := *cached
+	shard, inner := 0, ""
+	if nextToken != "" {
+		if _, err := fmt.Sscanf(nextToken, "s%d|", &shard); err != nil || shard < 0 || shard >= len(s.shards) {
+			return SelectPage{}, fmt.Errorf("sdb: bad continuation token %q", nextToken)
+		}
+		inner = nextToken[strings.IndexByte(nextToken, '|')+1:]
+	}
+	sq, err := s.rebase(q, shard)
+	if err != nil {
+		return SelectPage{}, err
+	}
+	page, err := s.shards[shard].SelectQuery(sq, inner)
+	if err != nil {
+		return SelectPage{}, err
+	}
+	switch {
+	case page.NextToken != "":
+		page.NextToken = fmt.Sprintf("s%d|%s", shard, page.NextToken)
+	case shard+1 < len(s.shards):
+		page.NextToken = fmt.Sprintf("s%d|", shard+1)
+	}
+	return page, nil
+}
+
+// mergeByName k-way merges per-shard item lists, each already in ascending
+// name order, into one ascending list. Shards partition the name space, so
+// no name appears in two lists and the merge is exactly the order a single
+// domain would have streamed.
+func mergeByName(lists [][]Item) []Item {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Item, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[pos[i]].Name < lists[best][pos[best]].Name {
+				best = i
+			}
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}

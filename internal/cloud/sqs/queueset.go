@@ -1,0 +1,91 @@
+package sqs
+
+import (
+	"fmt"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+// QueueSet is a K-way sharded set of queues acting as one logical write-ahead
+// log. Each shard is a distinct service queue with its own request-rate
+// ceiling (its own gate lane), so a K-way set admits K times the requests per
+// second of a single queue — the scaling lever the paper's single-queue P3
+// lacks.
+//
+// Discovery is by convention: shard i of logical queue "wal" is the service
+// queue "wal-i" (K == 1 keeps the bare name, so the seed topology's queue
+// layout is byte-identical). A commit daemon discovers its shard set with
+// Shards/Shard and routes by key with ShardFor; every participant uses the
+// same deterministic hash, so clients and daemons on different hosts agree
+// on every message's home shard without coordination.
+type QueueSet struct {
+	env    *sim.Env
+	base   string
+	shards []*Queue
+}
+
+// NewSet creates a K-way queue set. k < 1 is clamped to 1; k == 1 yields a
+// single queue named base (the seed topology).
+func NewSet(env *sim.Env, base string, k int) *QueueSet {
+	if k < 1 {
+		k = 1
+	}
+	s := &QueueSet{env: env, base: base, shards: make([]*Queue, k)}
+	for i := range s.shards {
+		name := base
+		if k > 1 {
+			name = fmt.Sprintf("%s-%d", base, i)
+		}
+		s.shards[i] = NewLane(env, name, i)
+	}
+	return s
+}
+
+// Env returns the environment the set charges against.
+func (s *QueueSet) Env() *sim.Env { return s.env }
+
+// Base returns the logical queue name the shards derive theirs from.
+func (s *QueueSet) Base() string { return s.base }
+
+// Shards reports the number of queue shards.
+func (s *QueueSet) Shards() int { return len(s.shards) }
+
+// Shard returns shard i.
+func (s *QueueSet) Shard(i int) *Queue { return s.shards[i] }
+
+// ShardFor routes a key (P3 uses the transaction uuid) to its home shard.
+func (s *QueueSet) ShardFor(key string) int { return sim.ShardOf(key, len(s.shards)) }
+
+// SetVisibility overrides the visibility timeout on every shard.
+func (s *QueueSet) SetVisibility(d time.Duration) {
+	for _, q := range s.shards {
+		q.SetVisibility(d)
+	}
+}
+
+// SetRetention overrides the message retention period on every shard.
+func (s *QueueSet) SetRetention(d time.Duration) {
+	for _, q := range s.shards {
+		q.SetRetention(d)
+	}
+}
+
+// Len reports the undeleted, unexpired messages across all shards.
+func (s *QueueSet) Len() int {
+	n := 0
+	for _, q := range s.shards {
+		n += q.Len()
+	}
+	return n
+}
+
+// GC runs a retention pass on every shard and reports how many expired
+// messages were dropped in total.
+func (s *QueueSet) GC() int {
+	n := 0
+	for _, q := range s.shards {
+		n += q.GCExpired()
+	}
+	return n
+}

@@ -71,6 +71,7 @@ type message struct {
 type Queue struct {
 	env        *sim.Env
 	name       string
+	lane       int // rate-gate lane: each queue is its own service partition
 	visibility time.Duration
 	retention  time.Duration
 
@@ -81,7 +82,22 @@ type Queue struct {
 
 // New creates an empty queue with default visibility and retention.
 func New(env *sim.Env, name string) *Queue {
-	return &Queue{env: env, name: name, visibility: DefaultVisibility, retention: DefaultRetention}
+	return NewLane(env, name, 0)
+}
+
+// NewLane creates an empty queue on a specific rate-gate lane. Queues on
+// distinct lanes have independent request-rate ceilings — the real service
+// throttles per queue, which is what makes K-way WAL sharding scale the log
+// path. Lane 0 shares the environment's default SQS gate.
+func NewLane(env *sim.Env, name string, lane int) *Queue {
+	return &Queue{env: env, name: name, lane: lane, visibility: DefaultVisibility, retention: DefaultRetention}
+}
+
+// count charges one request of the named kind to the meter, both per-kind
+// and against this queue's endpoint (per-shard load reporting).
+func (q *Queue) count(kind string, payload int64) {
+	q.env.Meter().CountOp(kind, payload)
+	q.env.Meter().CountEndpointOp(q.name)
 }
 
 // Name returns the queue name.
@@ -101,8 +117,8 @@ func (q *Queue) SendMessage(body []byte) (string, error) {
 	if len(body) > MaxMessageSize {
 		return "", fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, len(body))
 	}
-	q.env.Exec(sim.OpSQSSend, len(body))
-	q.env.Meter().CountOp("sqs.SendMessage", int64(len(body)))
+	q.env.ExecLane(sim.OpSQSSend, len(body), q.lane)
+	q.count("sqs.SendMessage", int64(len(body)))
 	now := q.env.Now()
 	q.mu.Lock()
 	q.seq++
@@ -142,11 +158,11 @@ func (q *Queue) SendMessageBatch(bodies [][]byte) ([]string, error) {
 	if len(bodies) == 0 {
 		return nil, nil
 	}
-	q.env.Exec(sim.OpSQSSendBatch, payload)
+	q.env.ExecLane(sim.OpSQSSendBatch, payload, q.lane)
 	if extra := q.env.Model().SQSBatchEntryLatency(len(bodies)); extra > 0 {
 		q.env.Clock().Sleep(extra)
 	}
-	q.env.Meter().CountOp("sqs.SendMessageBatch", int64(payload))
+	q.count("sqs.SendMessageBatch", int64(payload))
 	now := q.env.Now()
 	ids := make([]string, 0, len(bodies))
 	q.mu.Lock()
@@ -210,16 +226,16 @@ func (q *Queue) ReceiveMessage(max int) []Message {
 		bytes += len(m.body)
 	}
 	q.mu.Unlock()
-	q.env.Exec(sim.OpSQSReceive, bytes)
-	q.env.Meter().CountOp("sqs.ReceiveMessage", int64(bytes))
+	q.env.ExecLane(sim.OpSQSReceive, bytes, q.lane)
+	q.count("sqs.ReceiveMessage", int64(bytes))
 	return out
 }
 
 // DeleteMessage removes the message named by a receipt handle. Deleting an
 // already-deleted message succeeds, as on SQS.
 func (q *Queue) DeleteMessage(receipt string) error {
-	q.env.Exec(sim.OpSQSDelete, 0)
-	q.env.Meter().CountOp("sqs.DeleteMessage", 0)
+	q.env.ExecLane(sim.OpSQSDelete, 0, q.lane)
+	q.count("sqs.DeleteMessage", 0)
 	id := receipt
 	if i := indexByte(receipt, '#'); i >= 0 {
 		id = receipt[:i]
@@ -244,11 +260,11 @@ func (q *Queue) DeleteMessageBatch(receipts []string) error {
 	if len(receipts) == 0 {
 		return nil
 	}
-	q.env.Exec(sim.OpSQSDeleteBatch, 0)
+	q.env.ExecLane(sim.OpSQSDeleteBatch, 0, q.lane)
 	if extra := q.env.Model().SQSBatchEntryLatency(len(receipts)); extra > 0 {
 		q.env.Clock().Sleep(extra)
 	}
-	q.env.Meter().CountOp("sqs.DeleteMessageBatch", 0)
+	q.count("sqs.DeleteMessageBatch", 0)
 	q.mu.Lock()
 	for _, receipt := range receipts {
 		id := receipt
@@ -288,6 +304,18 @@ func (q *Queue) Len() int {
 	defer q.mu.Unlock()
 	q.expireLocked(q.env.Now())
 	return len(q.msgs)
+}
+
+// GCExpired forces a retention pass and reports how many messages it
+// dropped. The service expires messages lazily on access; the cleaner daemon
+// calls this per WAL shard so abandoned transactions on idle shards are
+// garbage-collected even when no daemon happens to poll them.
+func (q *Queue) GCExpired() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	before := len(q.msgs)
+	q.expireLocked(q.env.Now())
+	return before - len(q.msgs)
 }
 
 func indexByte(s string, b byte) int {

@@ -29,6 +29,14 @@
 // Options.DataConns (per-commit connection fan-out), and — for ablation
 // benchmarks only — P3.SetBatchedCommit(false), which restores the seed's
 // entry-by-entry serial path.
+//
+// The fabric itself shards: Topology sizes K-way WAL queue and provenance
+// domain sets (NewShardedDeployment), transactions hash to their home WAL
+// shard by txn uuid and items to their home domain by object uuid, commit
+// daemons subscribe to deterministic shard subsets, and the read layer
+// routes single-object lookups to one shard while scatter-gathering
+// multi-shard SELECTs with a canonical name-order merge. The zero Topology
+// is the seed's single-queue/single-domain layout (the K=1 ablation).
 package core
 
 import (
@@ -99,24 +107,76 @@ type Protocol interface {
 	Settle() error
 }
 
-// Deployment bundles the service endpoints one client talks to.
+// Topology sizes the sharded cloud fabric a deployment talks to: K WAL
+// queues (transactions routed by txn uuid) and K SimpleDB domains (items
+// routed by object uuid). The zero value is the seed topology — one queue,
+// one domain — kept reachable as the K=1 ablation path.
+type Topology struct {
+	// WALShards is the number of WAL queues P3 logs through. Values below 1
+	// are clamped to 1; values above MaxShards are clamped to MaxShards.
+	WALShards int
+	// DBShards is the number of provenance domains items spread across,
+	// clamped the same way.
+	DBShards int
+}
+
+// MaxShards caps the shard count of either axis; beyond this the fabric's
+// per-request base latencies dominate and more shards stop paying.
+const MaxShards = 64
+
+// normalized clamps both shard counts into [1, MaxShards].
+func (t Topology) normalized() Topology {
+	clamp := func(k int) int {
+		if k < 1 {
+			return 1
+		}
+		if k > MaxShards {
+			return MaxShards
+		}
+		return k
+	}
+	t.WALShards = clamp(t.WALShards)
+	t.DBShards = clamp(t.DBShards)
+	return t
+}
+
+// Deployment bundles the service endpoints one client talks to. DB and WAL
+// are shard sets; with the default topology each holds a single endpoint
+// named exactly as the seed deployment named it.
 type Deployment struct {
 	Env   *sim.Env
 	Store *store.Store
-	DB    *sdb.Domain
-	WAL   *sqs.Queue
+	DB    *sdb.DomainSet
+	WAL   *sqs.QueueSet
+	Topo  Topology
 }
 
-// DomainName is the SimpleDB domain holding provenance items.
+// DomainName is the logical SimpleDB domain holding provenance items;
+// sharded deployments derive the per-shard service domains ("prov-0", ...)
+// from it.
 const DomainName = "prov"
 
-// NewDeployment creates a fresh set of service endpoints on env.
+// WALName is the logical WAL queue name; sharded deployments derive the
+// per-shard service queues ("wal-0", ...) from it.
+const WALName = "wal"
+
+// NewDeployment creates a fresh set of service endpoints on env with the
+// seed topology (one WAL queue, one provenance domain).
 func NewDeployment(env *sim.Env) *Deployment {
+	return NewShardedDeployment(env, Topology{})
+}
+
+// NewShardedDeployment creates service endpoints on env with K-way WAL and
+// domain shard sets. Invalid shard counts are clamped, so any Topology
+// yields a working fabric.
+func NewShardedDeployment(env *sim.Env, topo Topology) *Deployment {
+	topo = topo.normalized()
 	return &Deployment{
 		Env:   env,
 		Store: store.New(env),
-		DB:    sdb.New(env, DomainName),
-		WAL:   sqs.New(env, "wal"),
+		DB:    sdb.NewSet(env, DomainName, topo.DBShards),
+		WAL:   sqs.NewSet(env, WALName, topo.WALShards),
+		Topo:  topo,
 	}
 }
 
@@ -150,7 +210,14 @@ type Options struct {
 	CommitWorkers int
 }
 
-// withDefaults fills zero fields.
+// maxCommitWorkers caps the commit-daemon pool; beyond this workers only
+// contend on the WAL shards without adding throughput.
+const maxCommitWorkers = 256
+
+// withDefaults fills zero fields and clamps out-of-range values: negative or
+// zero connection and worker counts fall back to their defaults, and worker
+// counts beyond maxCommitWorkers are capped, so any Options value yields a
+// working client.
 func (o Options) withDefaults(provConns int) Options {
 	if o.DataConns <= 0 {
 		o.DataConns = 16
@@ -160,6 +227,9 @@ func (o Options) withDefaults(provConns int) Options {
 	}
 	if o.CommitWorkers <= 0 {
 		o.CommitWorkers = 1
+	}
+	if o.CommitWorkers > maxCommitWorkers {
+		o.CommitWorkers = maxCommitWorkers
 	}
 	return o
 }

@@ -52,9 +52,11 @@ func ReadProvenance(dep *Deployment, backend Backend, u uuid.UUID) ([]prov.Bundl
 	case BackendSDB:
 		// One item per version, named uuid_version: a name-prefix query
 		// returns every version and resolves through the sorted name table
-		// instead of scanning the domain.
+		// instead of scanning the domain. All versions of a uuid live in
+		// one domain shard, so the query routes to that shard alone — a
+		// single-key lookup, not a scatter.
 		q := sdb.Query{Domain: DomainName, Where: sdb.Like(sdb.ItemNameKey, u.String()+"_%")}
-		items, _, _, err := dep.DB.SelectAllQuery(q)
+		items, _, _, err := dep.DB.SelectAllRouted(u.String(), q)
 		if err != nil {
 			return nil, err
 		}

@@ -42,20 +42,51 @@ func itemsFor(st *store.Store, bundles []prov.Bundle) ([]sdb.PutRequest, error) 
 }
 
 // putItems writes the requests with BatchPutAttributes in groups of at most
-// 25 (the service limit), using up to conns concurrent calls; ordered mode
-// writes batches sequentially in the given (ancestors-first) order.
-func putItems(db *sdb.Domain, reqs []sdb.PutRequest, conns int, ordered bool) error {
-	var tasks []func() error
-	for start := 0; start < len(reqs); start += sdb.MaxBatchItems {
-		end := start + sdb.MaxBatchItems
-		if end > len(reqs) {
-			end = len(reqs)
-		}
-		batch := reqs[start:end]
-		tasks = append(tasks, func() error { return db.BatchPutAttributes(batch) })
-	}
+// 25 (the service limit), each batch addressed to one shard of the domain
+// set so every call stays a single service request. Unordered mode (the
+// measured paths) partitions the requests by home shard first, filling each
+// shard's batches to the brim, and runs the calls on up to conns concurrent
+// connections — cross-shard transactions thus batch into their home domains
+// with no cross-domain calls. Ordered mode preserves the global
+// ancestors-first order: it walks the requests in sequence and cuts a batch
+// whenever the home shard changes (or the batch fills), writing batches
+// strictly one after another.
+func putItems(db *sdb.DomainSet, reqs []sdb.PutRequest, conns int, ordered bool) error {
 	if ordered {
+		var tasks []func() error
+		for start := 0; start < len(reqs); {
+			shard := db.ShardForItem(reqs[start].Item)
+			end := start + 1
+			for end < len(reqs) && end-start < sdb.MaxBatchItems && db.ShardForItem(reqs[end].Item) == shard {
+				end++
+			}
+			batch := reqs[start:end]
+			dom := db.Shard(shard)
+			tasks = append(tasks, func() error { return dom.BatchPutAttributes(batch) })
+			start = end
+		}
 		return runSequential(tasks)
+	}
+	perShard := make([][]sdb.PutRequest, db.Shards())
+	if db.Shards() == 1 {
+		perShard[0] = reqs
+	} else {
+		for _, r := range reqs {
+			sh := db.ShardForItem(r.Item)
+			perShard[sh] = append(perShard[sh], r)
+		}
+	}
+	var tasks []func() error
+	for sh, rs := range perShard {
+		dom := db.Shard(sh)
+		for start := 0; start < len(rs); start += sdb.MaxBatchItems {
+			end := start + sdb.MaxBatchItems
+			if end > len(rs) {
+				end = len(rs)
+			}
+			batch := rs[start:end]
+			tasks = append(tasks, func() error { return dom.BatchPutAttributes(batch) })
+		}
 	}
 	return runParallel(conns, tasks)
 }
@@ -125,7 +156,7 @@ type ItemSpec struct {
 // PopulateItems bulk-writes provenance-shaped items with maximal batches at
 // the SimpleDB connection ceiling — the setup path of the large-N query
 // benchmarks, which need domains far bigger than a workload replay builds.
-func PopulateItems(db *sdb.Domain, specs []ItemSpec) error {
+func PopulateItems(db *sdb.DomainSet, specs []ItemSpec) error {
 	reqs := make([]sdb.PutRequest, 0, len(specs))
 	for _, s := range specs {
 		attrs := []sdb.Attr{{Name: prov.AttrType, Value: s.Type}}

@@ -20,6 +20,11 @@ import (
 // updated by separate requests — but coupling violations are detectable by
 // comparing the version in the object's metadata with the versions present
 // in the database.
+//
+// On a sharded deployment P2's item writes partition by object uuid into
+// their home domains exactly as P3's commit daemon does (putItems), and in
+// ordered mode batches are cut at shard boundaries so the ancestors-first
+// write order holds globally, not just per domain.
 type P2 struct {
 	dep  *Deployment
 	opts Options

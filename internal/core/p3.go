@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"passcloud/internal/cloud/sdb"
@@ -24,20 +25,26 @@ import (
 //     versions plus all not-yet-written ancestors — including them in the
 //     transaction is what preserves multi-object causal ordering even
 //     though packets are sent in parallel), chunk it into ≤8 KB messages
-//     and send them to the WAL queue with SendMessageBatch (≤10 chunks per
+//     and send them to the transaction's home WAL shard (the deployment's
+//     queue set routes by txn uuid) with SendMessageBatch (≤10 chunks per
 //     service request). The first message carries the packet count, the
 //     temporary object pointer, the final key and the version.
 //
 // Commit phase (commit-daemon pool, asynchronous):
 //
-//  3. assemble packets by transaction into sharded state (any daemon can
-//     fold packets of any transaction; the shard lock, not a global one, is
-//     the only point of contention); once transactions are complete, commit
+//  3. each daemon polls its subscribed WAL shards (walSubscription assigns
+//     every shard to at least one worker deterministically), assembling
+//     packets by transaction into sharded state (any daemon can fold
+//     packets of any transaction; the shard lock, not a global one, is the
+//     only point of contention); once transactions are complete, commit
 //     them as a group: spill >1 KB values, coalesce the provenance items of
 //     every transaction in the group into full 25-item BatchPutAttributes
-//     calls, COPY each temporary object to its permanent key (updating the
-//     version metadata as part of the COPY), DELETE the temporary objects
-//     and batch-delete the group's WAL receipts.
+//     calls per home domain (items route to domains by object uuid, so a
+//     cross-shard transaction's items batch into their home domains), COPY
+//     each temporary object to its permanent key (updating the version
+//     metadata as part of the COPY), DELETE the temporary objects and
+//     batch-delete the group's WAL receipts against the shards they were
+//     received from.
 //
 // A transaction whose packets never all arrive (client crash mid-log) is
 // ignored; the queue's retention expires its messages and the cleaner
@@ -70,6 +77,10 @@ type P3 struct {
 	// reproducing the seed's entry-by-entry commit path. Benchmark ablation
 	// only; set before any commits and never mid-run.
 	serial bool
+
+	// cursor rotates CommitOnce's starting WAL shard so un-subscribed
+	// callers (tests, single-daemon loops) still cover every shard fairly.
+	cursor atomic.Uint64
 }
 
 // txnShards is the number of assembly shards; a small power of two keeps
@@ -97,11 +108,21 @@ const (
 	CrashAfterCopy            // data copied, temp + WAL not yet cleaned
 )
 
-// txnState accumulates packets of one transaction.
+// txnState accumulates packets of one transaction. walShard is the WAL
+// shard the packets arrived on — the transaction's home shard, where its
+// receipts must be acknowledged.
 type txnState struct {
 	header   *walTxn
 	got      map[int][]byte
 	receipts []string
+	walShard int
+}
+
+// shardReceipt is one WAL receipt paired with the shard it came from, so
+// cleanup can batch acknowledgements per shard.
+type shardReceipt struct {
+	shard   int
+	receipt string
 }
 
 // NewP3 returns a P3 client (and its daemons' logic) bound to dep.
@@ -208,27 +229,31 @@ func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
 	}
 	msgs := encodeWAL(txn, hdr, prov.EncodeBundles(bundles), p.chunkSize)
 
+	// Every packet of the transaction goes to its home WAL shard, so any
+	// daemon polling that shard can reassemble it without cross-shard scans.
+	wal := p.dep.WAL.Shard(p.dep.WAL.ShardFor(txn.String()))
 	if crashAt := p.takeClientCrash(len(msgs)); crashAt > 0 {
 		// Simulated client crash: only the first crashAt packets reach the
 		// WAL; the daemon must ignore the incomplete transaction.
-		if err := p.sendWAL(msgs[:crashAt]); err != nil {
+		if err := p.sendWAL(wal, msgs[:crashAt]); err != nil {
 			return err
 		}
 		return fmt.Errorf("%w after %d of %d packets", ErrSimulatedCrash, crashAt, len(msgs))
 	}
-	return p.sendWAL(msgs)
+	return p.sendWAL(wal, msgs)
 }
 
-// sendWAL ships WAL messages in ≤10-entry SendMessageBatch calls, batches
-// running in parallel on the provenance connection pool. In serial mode
-// every message is its own SendMessage request.
-func (p *P3) sendWAL(msgs [][]byte) error {
+// sendWAL ships WAL messages to one queue shard in ≤10-entry
+// SendMessageBatch calls, batches running in parallel on the provenance
+// connection pool. In serial mode every message is its own SendMessage
+// request.
+func (p *P3) sendWAL(wal *sqs.Queue, msgs [][]byte) error {
 	if p.serial {
 		tasks := make([]func() error, len(msgs))
 		for i, m := range msgs {
 			m := m
 			tasks[i] = func() error {
-				_, err := p.dep.WAL.SendMessage(m)
+				_, err := wal.SendMessage(m)
 				return err
 			}
 		}
@@ -242,48 +267,139 @@ func (p *P3) sendWAL(msgs [][]byte) error {
 		}
 		batch := msgs[start:end]
 		tasks = append(tasks, func() error {
-			_, err := p.dep.WAL.SendMessageBatch(batch)
+			_, err := wal.SendMessageBatch(batch)
 			return err
 		})
 	}
 	return runParallel(p.opts.ProvConns, tasks)
 }
 
-// commitReceiveBudget is how many ReceiveMessage calls one batched commit
-// round may spend assembling transactions before committing what became
-// ready. Pulling a few tens of messages per round is what lets the group
-// commit coalesce items across transactions into full database batches;
-// the serial ablation path keeps the seed's one receive per round.
-const commitReceiveBudget = 4
+// maxAssemblyBudget caps how many ReceiveMessage calls one batched commit
+// round may spend on a single WAL shard. The budget itself is adaptive:
+// the round keeps receiving while the shard keeps returning full pages
+// (deep backlog — pull enough to coalesce full 25-item database batches)
+// and stops at the first short page (shallow backlog — commit immediately
+// so idle shards stay low-latency). The serial ablation path keeps the
+// seed's one receive per round.
+const maxAssemblyBudget = 24
 
-// CommitOnce runs one round of a commit daemon: receive WAL messages (up
-// to the assembly budget), fold them into the sharded transaction state,
-// and group-commit every transaction that became complete. It reports
-// whether it made progress. Any number of workers may run CommitOnce
-// concurrently.
-func (p *P3) CommitOnce() (bool, error) {
-	budget := 1
-	if !p.serial {
-		budget = commitReceiveBudget
+// assemblyBudget is the receive cap for one shard in one round.
+func (p *P3) assemblyBudget() int {
+	if p.serial {
+		return 1
 	}
+	return maxAssemblyBudget
+}
+
+// walSubscription returns the WAL shards daemon worker w of a pool of n
+// polls: with at least as many workers as shards each worker owns one shard
+// (extras double up), with fewer workers each covers every shard congruent
+// to it mod n. Every shard is always covered by at least one worker, and
+// the assignment is deterministic — the discovery story for daemons on any
+// number of machines.
+func (p *P3) walSubscription(w, n int) []int {
+	k := p.dep.WAL.Shards()
+	if n < 1 {
+		n = 1
+	}
+	if n >= k {
+		return []int{w % k}
+	}
+	var subs []int
+	for s := w % n; s < k; s += n {
+		subs = append(subs, s)
+	}
+	return subs
+}
+
+// CommitOnce runs one round of a commit daemon across every WAL shard
+// (rotating the starting shard call to call so no shard is starved): receive
+// WAL messages up to the adaptive assembly budget per shard, fold them into
+// the sharded transaction state, and group-commit every transaction that
+// became complete. It reports whether it made progress. Any number of
+// workers may run CommitOnce concurrently; pool daemons poll only their
+// subscribed shards via commitShards.
+func (p *P3) CommitOnce() (bool, error) {
+	k := p.dep.WAL.Shards()
+	start := int(p.cursor.Add(1)) % k
+	shards := make([]int, k)
+	for i := range shards {
+		shards[i] = (start + i) % k
+	}
+	return p.commitShards(shards)
+}
+
+// recvConcurrency is how many ReceiveMessage calls one assembly wave issues
+// concurrently against a shard (SQS serves concurrent receives; each call
+// still pays its own request latency and gate admission). Waves keep the
+// receive leg of the commit round off the critical path without losing the
+// backlog-adaptive stop.
+const recvConcurrency = 8
+
+// commitShards is one commit round over an explicit shard subscription.
+func (p *P3) commitShards(shards []int) (bool, error) {
 	var ready []*txnState
-	var acks []string
+	var acks []shardReceipt
 	progress := false
-	for r := 0; r < budget; r++ {
-		msgs := p.dep.WAL.ReceiveMessage(10)
-		if len(msgs) == 0 {
-			break
+	for _, si := range shards {
+		wal := p.dep.WAL.Shard(si)
+		budget := p.assemblyBudget()
+		conc := recvConcurrency
+		if p.serial || conc > budget {
+			conc = 1
 		}
-		progress = true
-		rdy, a := p.foldMessages(msgs)
-		ready = append(ready, rdy...)
-		acks = append(acks, a...)
+		for r := 0; r < budget; {
+			wave := conc
+			if r == 0 {
+				// Probe with a single receive: an idle shard costs one
+				// request per poll, and only a full first page escalates
+				// to concurrent waves.
+				wave = 1
+			}
+			if wave > budget-r {
+				wave = budget - r
+			}
+			r += wave
+			pages := make([][]sqs.Message, wave)
+			var wg sync.WaitGroup
+			for w := 0; w < wave; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					pages[w] = wal.ReceiveMessage(10)
+				}()
+			}
+			wg.Wait()
+			short := false
+			for _, msgs := range pages {
+				if len(msgs) == 0 {
+					short = true
+					continue
+				}
+				progress = true
+				if len(msgs) < 10 {
+					// Short page: the shard's backlog is shallow; stop
+					// pulling after this wave and commit what we have to
+					// keep latency low.
+					short = true
+				}
+				rdy, a := p.foldMessages(si, msgs)
+				ready = append(ready, rdy...)
+				for _, rcpt := range a {
+					acks = append(acks, shardReceipt{shard: si, receipt: rcpt})
+				}
+			}
+			if short {
+				break
+			}
+		}
 	}
 	if !progress {
 		return false, nil
 	}
 	var errs []error
-	if err := p.deleteReceipts(acks); err != nil {
+	if err := p.deleteReceiptPairs(acks); err != nil {
 		errs = append(errs, err)
 	}
 	if len(ready) > 0 {
@@ -294,11 +410,12 @@ func (p *P3) CommitOnce() (bool, error) {
 	return true, errors.Join(errs...)
 }
 
-// foldMessages routes received packets into their transactions' shards and
-// returns the transactions completed by this batch, plus the receipts of
-// redelivered packets belonging to already-committed transactions (which
-// only need acknowledging).
-func (p *P3) foldMessages(msgs []sqs.Message) (ready []*txnState, acks []string) {
+// foldMessages routes packets received from WAL shard walShard into their
+// transactions' assembly shards and returns the transactions completed by
+// this batch, plus the receipts of redelivered packets belonging to
+// already-committed transactions (which only need acknowledging, on the
+// same WAL shard they arrived from).
+func (p *P3) foldMessages(walShard int, msgs []sqs.Message) (ready []*txnState, acks []string) {
 	for _, m := range msgs {
 		pkt, err := decodeWAL(m.Body)
 		if err != nil {
@@ -315,7 +432,7 @@ func (p *P3) foldMessages(msgs []sqs.Message) (ready []*txnState, acks []string)
 		}
 		st := sh.pending[pkt.Txn]
 		if st == nil {
-			st = &txnState{got: make(map[int][]byte)}
+			st = &txnState{got: make(map[int][]byte), walShard: walShard}
 			sh.pending[pkt.Txn] = st
 		}
 		st.receipts = append(st.receipts, m.ReceiptHandle)
@@ -353,25 +470,52 @@ func (p *P3) isCommitted(txn uuid.UUID) bool {
 	return sh.committed[txn]
 }
 
-// deleteReceipts acknowledges WAL messages in ≤10-entry DeleteMessageBatch
-// calls, collecting — not short-circuiting on — per-batch errors so one
+// deleteReceipts acknowledges WAL messages on one queue shard in ≤10-entry
+// DeleteMessageBatch calls running in parallel on the provenance connection
+// pool, collecting — not short-circuiting on — per-batch errors so one
 // failure cannot leave later receipts silently unacknowledged.
-func (p *P3) deleteReceipts(receipts []string) error {
+func (p *P3) deleteReceipts(wal *sqs.Queue, receipts []string) error {
 	var errs []error
 	if p.serial {
 		for _, r := range receipts {
-			if err := p.dep.WAL.DeleteMessage(r); err != nil {
+			if err := wal.DeleteMessage(r); err != nil {
 				errs = append(errs, err)
 			}
 		}
 		return errors.Join(errs...)
 	}
+	var tasks []func() error
 	for start := 0; start < len(receipts); start += sqs.MaxBatchEntries {
 		end := start + sqs.MaxBatchEntries
 		if end > len(receipts) {
 			end = len(receipts)
 		}
-		if err := p.dep.WAL.DeleteMessageBatch(receipts[start:end]); err != nil {
+		batch := receipts[start:end]
+		tasks = append(tasks, func() error { return wal.DeleteMessageBatch(batch) })
+	}
+	errs = append(errs, runParallelAll(p.opts.ProvConns, tasks)...)
+	return errors.Join(errs...)
+}
+
+// deleteReceiptPairs groups shard-tagged receipts by home shard and
+// acknowledges each shard's group; deletes are idempotent, so order does
+// not matter (the mid-cleanup fault injection truncates the pair list
+// before this runs).
+func (p *P3) deleteReceiptPairs(pairs []shardReceipt) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	perShard := make(map[int][]string)
+	order := make([]int, 0, 4)
+	for _, pr := range pairs {
+		if _, seen := perShard[pr.shard]; !seen {
+			order = append(order, pr.shard)
+		}
+		perShard[pr.shard] = append(perShard[pr.shard], pr.receipt)
+	}
+	var errs []error
+	for _, sh := range order {
+		if err := p.deleteReceipts(p.dep.WAL.Shard(sh), perShard[sh]); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -391,10 +535,11 @@ type txnWork struct {
 
 // commitGroup pushes a set of complete transactions to their final state
 // together, coalescing their provenance across transaction boundaries into
-// full database batches and batch-deleting their WAL receipts. Every step
-// is idempotent so a crashed group commit can be re-run by any daemon; a
-// transaction that fails a per-transaction step drops out of the group and
-// is retried on redelivery without holding the others back.
+// full database batches per home domain and batch-deleting their WAL
+// receipts against the shards they arrived on. Every step is idempotent so
+// a crashed group commit can be re-run by any daemon; a transaction that
+// fails a per-transaction step drops out of the group and is retried on
+// redelivery without holding the others back.
 func (p *P3) commitGroup(group []*txnState) error {
 	var errs []error
 
@@ -402,11 +547,13 @@ func (p *P3) commitGroup(group []*txnState) error {
 	// converting bundles into database put requests. A transaction another
 	// worker committed in the meantime only needs its receipts acknowledged.
 	work := make([]*txnWork, 0, len(group))
-	var acks []string
+	var acks []shardReceipt
 	for _, st := range group {
 		hdr := st.header
 		if p.isCommitted(hdr.Txn) {
-			acks = append(acks, st.receipts...)
+			for _, r := range st.receipts {
+				acks = append(acks, shardReceipt{shard: st.walShard, receipt: r})
+			}
 			continue
 		}
 		bundles, err := decodeTxn(st)
@@ -421,7 +568,7 @@ func (p *P3) commitGroup(group []*txnState) error {
 		}
 		work = append(work, &txnWork{st: st, hdr: hdr, reqs: reqs})
 	}
-	if err := p.deleteReceipts(acks); err != nil {
+	if err := p.deleteReceiptPairs(acks); err != nil {
 		errs = append(errs, err)
 	}
 	if len(work) == 0 {
@@ -433,7 +580,9 @@ func (p *P3) commitGroup(group []*txnState) error {
 	}
 
 	// 1+2. Store provenance in the database, coalescing the whole group's
-	// items into batches of 25 regardless of transaction boundaries. Puts
+	// items into batches of 25 per home domain regardless of transaction
+	// boundaries (putItems partitions by item uuid, so a cross-shard
+	// transaction's items land in their home domains in full batches). Puts
 	// replace whole items, so a redelivered transaction rewrites the same
 	// rows — a database failure here fails the group and redelivery retries.
 	if p.serial {
@@ -498,10 +647,10 @@ func (p *P3) commitGroup(group []*txnState) error {
 	// 4. The commit of each copied transaction is durable: mark it
 	// committed before cleanup so redelivered packets are acknowledged, not
 	// re-committed, even if cleanup below fails part-way. Then delete the
-	// temporary objects and batch-delete the group's WAL receipts,
-	// collecting every error instead of abandoning the rest of the group's
-	// acknowledgements at the first failure.
-	var receipts []string
+	// temporary objects and batch-delete the group's WAL receipts against
+	// their home shards, collecting every error instead of abandoning the
+	// rest of the group's acknowledgements at the first failure.
+	var receipts []shardReceipt
 	for _, w := range work {
 		if !w.copied {
 			continue
@@ -512,14 +661,16 @@ func (p *P3) commitGroup(group []*txnState) error {
 				errs = append(errs, err)
 			}
 		}
-		receipts = append(receipts, w.st.receipts...)
+		for _, r := range w.st.receipts {
+			receipts = append(receipts, shardReceipt{shard: w.st.walShard, receipt: r})
+		}
 	}
 	if drop := p.takeCleanupDrop(); drop > 0 && drop < len(receipts) {
 		// Injected mid-cleanup death: the rest of the receipts stay
 		// unacknowledged and must be absorbed as redeliveries.
 		receipts = receipts[:drop]
 	}
-	if err := p.deleteReceipts(receipts); err != nil {
+	if err := p.deleteReceiptPairs(receipts); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
@@ -575,10 +726,11 @@ func (p *P3) takeCleanupDrop() int {
 }
 
 // Settle drains the commit-daemon pool until the WAL holds nothing
-// actionable: each round runs CommitWorkers concurrent CommitOnce workers
-// and the loop ends after several consecutive rounds with no progress on
-// any worker. Incomplete transactions (crashed clients) are left for
-// retention and the cleaner, as on the real system.
+// actionable: each round runs CommitWorkers concurrent workers, each
+// polling its subscribed WAL shards, and the loop ends after several
+// consecutive rounds with no progress on any worker. Incomplete
+// transactions (crashed clients) are left for retention and the cleaner,
+// as on the real system.
 func (p *P3) Settle() error {
 	idle := 0
 	var lastErr error
@@ -592,7 +744,7 @@ func (p *P3) Settle() error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				progress[i], errs[i] = p.CommitOnce()
+				progress[i], errs[i] = p.commitShards(p.walSubscription(i, workers))
 			}()
 		}
 		wg.Wait()
@@ -616,24 +768,28 @@ func (p *P3) Settle() error {
 }
 
 // RunDaemon runs the commit-daemon pool until stop is closed (live mode):
-// CommitWorkers goroutines each loop CommitOnce, sleeping the poll interval
-// when the WAL is empty. It returns once every worker has exited.
+// CommitWorkers goroutines each loop over their subscribed WAL shards,
+// sleeping the poll interval when those shards are empty. It returns once
+// every worker has exited.
 func (p *P3) RunDaemon(stop <-chan struct{}, poll time.Duration) {
 	if poll <= 0 {
 		poll = 2 * time.Second
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < p.opts.CommitWorkers; i++ {
+	workers := p.opts.CommitWorkers
+	for i := 0; i < workers; i++ {
+		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			subs := p.walSubscription(i, workers)
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				progress, _ := p.CommitOnce()
+				progress, _ := p.commitShards(subs)
 				if !progress {
 					p.dep.Env.Clock().Sleep(poll)
 				}
@@ -670,13 +826,17 @@ func (p *P3) Fetch(path string) (store.Object, error) {
 // the cleaner removes it (§4.3.3 uses the WAL's four-day retention).
 const CleanerMaxAge = 4 * 24 * time.Hour
 
-// RunCleaner makes one pass of the cleaner daemon: it lists temporary
-// objects and deletes those not accessed within maxAge (uncommitted
-// leftovers of crashed clients). It returns the number removed.
+// RunCleaner makes one pass of the cleaner daemon: it forces a retention
+// pass on every WAL shard (garbage-collecting expired packets of abandoned
+// transactions even on shards no daemon happens to poll), then lists
+// temporary objects and deletes those not accessed within maxAge
+// (uncommitted leftovers of crashed clients). It returns the number of
+// temporary objects removed.
 func (p *P3) RunCleaner(maxAge time.Duration) (int, error) {
 	if maxAge <= 0 {
 		maxAge = CleanerMaxAge
 	}
+	p.dep.WAL.GC()
 	keys, _, err := p.dep.Store.ListAll(TmpPrefix)
 	if err != nil {
 		return 0, err

@@ -44,6 +44,46 @@ func runParallel(workers int, tasks []func() error) error {
 	return first
 }
 
+// runParallelAll executes tasks on at most workers goroutines and collects
+// every error (not just the first), for callers like receipt cleanup where
+// each failed task must be reported rather than abandoned.
+func runParallelAll(workers int, tasks []func() error) []error {
+	if workers <= 0 {
+		workers = 1
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	ch := make(chan func() error)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range ch {
+				if err := task(); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return errs
+}
+
 // runSequential executes tasks in order, stopping at the first error.
 func runSequential(tasks []func() error) error {
 	for _, t := range tasks {

@@ -108,8 +108,10 @@ func (e *Engine) scanStore(workers int) ([]prov.Bundle, error) {
 	return all, nil
 }
 
-// selectAllDB drains SELECT * — the database plan for Q1. SimpleDB's paged
-// SELECT cannot be parallelized: each page needs the previous page's token.
+// selectAllDB drains SELECT * — the database plan for Q1. Within one domain
+// the paged SELECT cannot be parallelized (each page needs the previous
+// page's token), but on a sharded fabric the domain set scatters the drain
+// across shards in parallel and merges back canonical name order.
 func (e *Engine) selectAllDB() ([]prov.Bundle, error) {
 	items, _, _, err := e.dep.DB.SelectAll("select * from " + core.DomainName)
 	if err != nil {
@@ -291,7 +293,9 @@ const inBatch = 20
 
 // referencingItemsDB finds items whose input attribute references any of
 // refs, batching references into IN predicates and optionally running the
-// SELECTs in parallel.
+// SELECTs in parallel. Referencing items can live on any domain shard, so
+// each IN batch is a scatter-gather SELECT (the domain set fans it out and
+// merges); the final sortRefs keeps the BFS frontier canonical either way.
 func (e *Engine) referencingItemsDB(refs []prov.Ref, workers int) ([]prov.Ref, error) {
 	if len(refs) == 0 {
 		return nil, nil

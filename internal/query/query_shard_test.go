@@ -1,0 +1,149 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"passcloud/internal/core"
+	"passcloud/internal/pasfs"
+	"passcloud/internal/pass"
+	"passcloud/internal/prov"
+	"passcloud/internal/sim"
+	"passcloud/internal/trace"
+)
+
+// shardedBlast replays the miniBlast workload through P3 on a K×K fabric
+// and returns the settled deployment and collector.
+func shardedBlast(t *testing.T, k int) (*core.Deployment, *pass.Collector) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	env := sim.NewEnv(cfg)
+	dep := core.NewShardedDeployment(env, core.Topology{WALShards: k, DBShards: k})
+	proto := core.NewP3(dep, core.Options{CommitWorkers: 2})
+	col := pass.New(env.Rand(), nil)
+	fs := pasfs.New(env, proto, col, pasfs.Config{Collect: true, AsyncCommits: false})
+
+	b := trace.NewBuilder()
+	for i := 0; i < 3; i++ {
+		raw := "mnt/work/raw" + string(rune('0'+i))
+		rep := "mnt/out/hits" + string(rune('0'+i))
+		blast := b.Spawn(0, "/usr/bin/blastall", "blastall")
+		b.Read(blast, "db/nr.fmt", 1024)
+		b.Write(blast, raw, 2048).Close(blast, raw)
+		fmtr := b.Spawn(0, "/usr/bin/blastfmt", "blastfmt")
+		b.Read(fmtr, raw, 2048).Write(fmtr, rep, 512).Close(fmtr, rep)
+	}
+	if err := fs.Run(b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	dep.Settle()
+	return dep, col
+}
+
+// readDigest hashes the ReadProvenance result of every file the collector
+// tracked, in a fixed path order.
+func readDigest(t *testing.T, dep *core.Deployment, col *pass.Collector) string {
+	t.Helper()
+	h := sha256.New()
+	for i := 0; i < 3; i++ {
+		for _, path := range []string{
+			"mnt/work/raw" + string(rune('0'+i)),
+			"mnt/out/hits" + string(rune('0'+i)),
+		} {
+			ref, ok := col.FileRef(path)
+			if !ok {
+				t.Fatalf("collector lost %s", path)
+			}
+			bundles, err := core.ReadProvenance(dep, core.BackendSDB, ref.UUID)
+			if err != nil {
+				t.Fatalf("ReadProvenance(%s): %v", path, err)
+			}
+			h.Write(prov.EncodeBundles(bundles))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestCrossShardEquivalence is the read-layer acceptance check: the same
+// workload committed on K=1, K=2 and K=4 fabrics must be indistinguishable
+// to every reader — byte-identical ReadProvenance digests, identical Q1
+// result sets in identical canonical order, and identical BFS (Q4)
+// closures through the scatter-gathered IN fan-out.
+func TestCrossShardEquivalence(t *testing.T) {
+	type snapshot struct {
+		digest string
+		q1     string
+		q4     string
+	}
+	var first snapshot
+	for i, k := range []int{1, 2, 4} {
+		dep, col := shardedBlast(t, k)
+		e := New(dep, core.BackendSDB)
+
+		var snap snapshot
+		snap.digest = readDigest(t, dep, col)
+
+		bundles, _, err := e.AllProvenance(4)
+		if err != nil {
+			t.Fatalf("K=%d Q1: %v", k, err)
+		}
+		hq1 := sha256.New()
+		for _, b := range bundles {
+			hq1.Write([]byte(b.Ref.String() + "\n"))
+		}
+		snap.q1 = hex.EncodeToString(hq1.Sum(nil))
+
+		refs, _, err := e.DescendantsOf("blastall", 4)
+		if err != nil {
+			t.Fatalf("K=%d Q4: %v", k, err)
+		}
+		snap.q4 = fmt.Sprint(refs)
+
+		if i == 0 {
+			first = snap
+			if len(bundles) == 0 || len(refs) == 0 {
+				t.Fatal("baseline K=1 returned empty results")
+			}
+			continue
+		}
+		if snap.digest != first.digest {
+			t.Errorf("K=%d ReadProvenance digest diverged", k)
+		}
+		if snap.q1 != first.q1 {
+			t.Errorf("K=%d Q1 result order diverged", k)
+		}
+		if snap.q4 != first.q4 {
+			t.Errorf("K=%d Q4 closure diverged", k)
+		}
+	}
+}
+
+// TestRoutedQ2SingleShard checks Q2 on a sharded fabric routes to the home
+// shard: the object's provenance is found and the op count stays the
+// seed-shaped HEAD + one fetch (no K-way scatter).
+func TestRoutedQ2SingleShard(t *testing.T) {
+	dep, col := shardedBlast(t, 4)
+	e := New(dep, core.BackendSDB)
+	bundles, m, err := e.ObjectProvenance("mnt/out/hits1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := col.FileRef("mnt/out/hits1")
+	found := false
+	for _, b := range bundles {
+		if b.Ref == ref {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Q2 missed the object's own bundle (%d bundles)", len(bundles))
+	}
+	if m.Ops < 2 || m.Ops > 4 {
+		t.Fatalf("Q2 ops = %d, want 2-4 (routed, not scattered)", m.Ops)
+	}
+}

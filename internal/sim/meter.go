@@ -52,21 +52,26 @@ const (
 // Meter accumulates requests, transfer and storage so a run's dollar cost
 // can be reported the way Table 4 does.
 type Meter struct {
-	mu          sync.Mutex
-	requests    [numCostClasses]int64
-	machineSec  float64
-	bytesIn     int64
-	bytesOut    int64
-	stored      int64 // current storage footprint (bytes)
-	peakStored  int64
-	opsByKind   map[string]int64
-	opsTotal    int64
-	bytesByKind map[string]int64
+	mu            sync.Mutex
+	requests      [numCostClasses]int64
+	machineSec    float64
+	bytesIn       int64
+	bytesOut      int64
+	stored        int64 // current storage footprint (bytes)
+	peakStored    int64
+	opsByKind     map[string]int64
+	opsTotal      int64
+	bytesByKind   map[string]int64
+	opsByEndpoint map[string]int64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{opsByKind: make(map[string]int64), bytesByKind: make(map[string]int64)}
+	return &Meter{
+		opsByKind:     make(map[string]int64),
+		bytesByKind:   make(map[string]int64),
+		opsByEndpoint: make(map[string]int64),
+	}
 }
 
 // CountRequest records n billed requests of class c.
@@ -82,6 +87,15 @@ func (m *Meter) CountOp(kind string, payload int64) {
 	m.mu.Lock()
 	m.opsByKind[kind]++
 	m.bytesByKind[kind] += payload
+	m.mu.Unlock()
+}
+
+// CountEndpointOp records one request against a named service endpoint (a
+// SimpleDB domain, an SQS queue) so sharded deployments can report how the
+// load spread across their shards.
+func (m *Meter) CountEndpointOp(endpoint string) {
+	m.mu.Lock()
+	m.opsByEndpoint[endpoint]++
 	m.mu.Unlock()
 }
 
@@ -127,6 +141,9 @@ type Usage struct {
 	PeakStored  int64
 	OpsByKind   map[string]int64
 	BytesByKind map[string]int64
+	// OpsByEndpoint counts requests per named service endpoint (domain or
+	// queue shard); endpoints that saw no traffic are absent.
+	OpsByEndpoint map[string]int64
 }
 
 // Usage returns a copy of the meter's counters.
@@ -134,15 +151,16 @@ func (m *Meter) Usage() Usage {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	u := Usage{
-		Requests:    make(map[CostClass]int64, numCostClasses),
-		TotalOps:    m.opsTotal,
-		MachineSec:  m.machineSec,
-		BytesIn:     m.bytesIn,
-		BytesOut:    m.bytesOut,
-		Stored:      m.stored,
-		PeakStored:  m.peakStored,
-		OpsByKind:   make(map[string]int64, len(m.opsByKind)),
-		BytesByKind: make(map[string]int64, len(m.bytesByKind)),
+		Requests:      make(map[CostClass]int64, numCostClasses),
+		TotalOps:      m.opsTotal,
+		MachineSec:    m.machineSec,
+		BytesIn:       m.bytesIn,
+		BytesOut:      m.bytesOut,
+		Stored:        m.stored,
+		PeakStored:    m.peakStored,
+		OpsByKind:     make(map[string]int64, len(m.opsByKind)),
+		BytesByKind:   make(map[string]int64, len(m.bytesByKind)),
+		OpsByEndpoint: make(map[string]int64, len(m.opsByEndpoint)),
 	}
 	for c := CostClass(0); c < numCostClasses; c++ {
 		if m.requests[c] != 0 {
@@ -154,6 +172,9 @@ func (m *Meter) Usage() Usage {
 	}
 	for k, v := range m.bytesByKind {
 		u.BytesByKind[k] = v
+	}
+	for k, v := range m.opsByEndpoint {
+		u.OpsByEndpoint[k] = v
 	}
 	return u
 }

@@ -1,0 +1,22 @@
+package sim
+
+// ShardOf deterministically routes a key to one of shards partitions using
+// FNV-1a over the key bytes. Every layer of the sharded fabric — WAL queues
+// routed by transaction uuid, SimpleDB domains routed by item uuid — uses
+// this one function, so clients, commit daemons and the query planner always
+// agree on where a key lives, across processes and across runs.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}

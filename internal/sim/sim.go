@@ -156,6 +156,14 @@ type Env struct {
 	model Model
 
 	gates [numGates]gate
+	// laneGates holds the rate gates of sharded service endpoints (lane >
+	// 0): each SimpleDB domain and each SQS queue is its own service-side
+	// partition with its own request-rate ceiling, so a K-way sharded
+	// deployment admits K requests per gate interval where a single
+	// endpoint admits one. Lane 0 is the default endpoint and uses gates.
+	laneMu    sync.Mutex
+	laneGates map[laneKey]*gate
+
 	netmu sync.Mutex // guards hostNet
 	// hostNet is the virtual time at which the host NIC frees up; bulk
 	// transfers space their admissions so aggregate bandwidth stays below
@@ -242,12 +250,23 @@ func (e *Env) StalenessWindow() time.Duration {
 // gate admission, sleeps the modelled latency, charges the cost meter, and
 // returns the request's service latency (excluding gate queueing).
 func (e *Env) Exec(op OpKind, nbytes int) time.Duration {
+	return e.ExecLane(op, nbytes, 0)
+}
+
+// ExecLane is Exec against a sharded service endpoint: requests on distinct
+// lanes queue at distinct rate gates, modelling that a SimpleDB domain or an
+// SQS queue is its own service-side partition with its own request-rate
+// ceiling (the paper's ~7 BatchPut/s and ~210 request/s gates are per
+// domain/queue, which is exactly why sharding across K of them scales the
+// write path). Latency, billing and the shared host NIC are unaffected by
+// the lane; lane 0 is the default endpoint, so ExecLane(op, n, 0) == Exec.
+func (e *Env) ExecLane(op OpKind, nbytes int, lane int) time.Duration {
 	spec := opSpecs[op]
 
-	// Per-host request-rate gate: this is what makes S3 saturate around
+	// Per-endpoint request-rate gate: this is what makes S3 saturate around
 	// 150 connections and SimpleDB around 40 in Table 2.
 	if spec.gate != gateNone {
-		e.gates[spec.gate].reserve(e.clock)
+		e.gateFor(spec.gate, lane).reserve(e.clock)
 	}
 	// Host NIC gate for bulk transfers.
 	if spec.xfer != xferNone && nbytes > bulkThreshold {
@@ -260,6 +279,32 @@ func (e *Env) Exec(op OpKind, nbytes int) time.Duration {
 
 	e.charge(spec, nbytes)
 	return d
+}
+
+// laneKey identifies one sharded endpoint's gate.
+type laneKey struct {
+	g    gateID
+	lane int
+}
+
+// gateFor resolves the rate gate of (gate class, lane), creating lane gates
+// on first use with the class's admission interval.
+func (e *Env) gateFor(g gateID, lane int) *gate {
+	if lane <= 0 {
+		return &e.gates[g]
+	}
+	key := laneKey{g: g, lane: lane}
+	e.laneMu.Lock()
+	defer e.laneMu.Unlock()
+	if e.laneGates == nil {
+		e.laneGates = make(map[laneKey]*gate)
+	}
+	gt := e.laneGates[key]
+	if gt == nil {
+		gt = &gate{interval: e.gates[g].interval}
+		e.laneGates[key] = gt
+	}
+	return gt
 }
 
 // reserveNet spaces bulk transfers so aggregate host throughput stays under

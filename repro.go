@@ -34,6 +34,18 @@
 // count, chain depth — see internal/bench.BigQuery) and records it in
 // BENCH_indexed_select.json.
 //
+// The cloud fabric shards: core.Topology sizes K-way WAL queue and
+// provenance domain sets (core.NewShardedDeployment), each shard a service
+// partition with its own request-rate gate. Transactions hash to their home
+// WAL shard by txn uuid, items to their home domain by object uuid, commit
+// daemons subscribe to deterministic shard subsets, and reads route
+// single-object lookups to one shard while scatter-gathering multi-shard
+// SELECTs with a canonical name-order merge — so query results and
+// ReadProvenance digests are byte-identical at any K. The zero Topology is
+// the paper's single-queue/single-domain layout (the K=1 ablation);
+// examples/sharded-fabric demos the knobs and BenchmarkShardedWrite records
+// the K∈{1,2,4} comparison in BENCH_sharded_write.json.
+//
 // The root package only anchors repository-level benchmarks (bench_test.go);
 // see README.md and DESIGN.md for the system map.
 package passcloud
