@@ -157,6 +157,61 @@ func BenchmarkBigQueryIndexed(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryAPI runs the repeated-traversal read workload (Q4-shaped
+// BFS + Q2-shaped versions lookup + Q3-shaped indexed find, repeated over a
+// settled ≥30k-item corpus) through the composable query API with the
+// versioned read-through cache off and on, reports the headline numbers,
+// and records the comparison in BENCH_query_api.json at the repository
+// root.
+func BenchmarkQueryAPI(b *testing.B) {
+	const (
+		items   = 30_000
+		chains  = 48
+		depth   = 10
+		repeats = 6
+	)
+	for i := 0; i < b.N; i++ {
+		uncached, err := bench.QueryAPI(17, items, chains, depth, repeats, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cached, err := bench.QueryAPI(17, items, chains, depth, repeats, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The ≥2x acceptance gate lives in TestQueryCacheSpeedup; the
+		// benchmark only measures and records, so a regression still gets
+		// written to the JSON instead of aborting the run. Identical results
+		// are non-negotiable even here.
+		if uncached.Digest != cached.Digest {
+			b.Fatalf("cached results diverged: %s vs %s", uncached.Digest, cached.Digest)
+		}
+		b.ReportMetric(uncached.SimSeconds, "sim-s-uncached")
+		b.ReportMetric(cached.SimSeconds, "sim-s-cached")
+		b.ReportMetric(uncached.SimSeconds/cached.SimSeconds, "sim-speedup-x")
+		b.ReportMetric(float64(uncached.Selects)/float64(cached.Selects), "select-reduction-x")
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkQueryAPI",
+			"command":   "go test -run=- -bench=BenchmarkQueryAPI -benchtime=1x",
+			"uncached":  uncached,
+			"cached":    cached,
+			"speedup": map[string]float64{
+				"sim":       uncached.SimSeconds / cached.SimSeconds,
+				"wall":      uncached.WallSeconds / cached.WallSeconds,
+				"selects":   float64(uncached.Selects) / float64(cached.Selects),
+				"total_ops": float64(uncached.TotalOps) / float64(cached.TotalOps),
+			},
+			"results_identical": uncached.Digest == cached.Digest,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_query_api.json", out, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCommitPipeline replays ≥50k provenance events through P3's
 // commit path on the seed's serial implementation and on the batched
 // pipeline (SQS batch APIs, commit-daemon pool, cross-transaction BatchPut

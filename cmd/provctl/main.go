@@ -11,10 +11,21 @@
 //	ancestry <path>      walk and verify the full ancestor closure
 //	outputs <program>    Q3: files directly output by a program
 //	descendants <prog>   Q4: everything derived from a program
+//	query <spec...>      run a composable query spec (see below)
+//	plan <spec...>       show the plan a spec would run, without running it
+//	cache [n|off|stats]  install/drop/inspect the read-through query cache
 //	verify <path>        coupling check (provenance-aware read)
 //	props                probe the Table-1 properties of this protocol
 //	bill                 show the accumulated cloud bill
 //	help / quit
+//
+// A query spec is order-free tokens: roots (path:<p>, uuid:<u>,
+// ref:<uuid_version>, attr:<name>=<value>, all repeatable),
+// dir=self|versions|ancestors|descendants|all, depth=<n>,
+// filter=type:<t>|name:<v>|attr:<a>=<v> (repeatable, ANDed),
+// project=refs|bundles, workers=<n>. For example, Q3 restricted to files:
+//
+//	query attr:name=blastall attr:type=proc dir=descendants depth=1 filter=type:file
 package main
 
 import (
@@ -98,7 +109,10 @@ func main() {
 			return
 		case "help":
 			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
-			fmt.Println("outputs <program> | descendants <program> | verify <path> | props | bill | quit")
+			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
+			fmt.Println("cache [n|off|stats] | verify <path> | props | bill | quit")
+			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
+			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
 		case "ls":
 			keys, _, err := dep.Store.ListAll(core.DataPrefix + arg)
 			if err != nil {
@@ -160,6 +174,65 @@ func main() {
 				continue
 			}
 			fmt.Printf("%d descendants (%.3fs, %d ops)\n", len(refs), m.Elapsed.Seconds(), m.Ops)
+		case "query", "plan":
+			spec, err := query.ParseSpec(fields[1:])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("plan:", eng.Describe(spec))
+			if cmd == "plan" {
+				continue
+			}
+			n := 0
+			m0 := env.Meter().Usage()
+			t0 := env.Now()
+			for r, err := range eng.Run(spec) {
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				n++
+				if r.Bundle != nil {
+					fmt.Printf("  d%-2d %s %s %q\n", r.Depth, r.Ref, r.Bundle.Type, r.Bundle.Name)
+				} else {
+					fmt.Printf("  d%-2d %s\n", r.Depth, r.Ref)
+				}
+			}
+			m1 := env.Meter().Usage()
+			fmt.Printf("%d results (%.3fs, %d ops)\n", n, (env.Now() - t0).Seconds(), m1.TotalOps-m0.TotalOps)
+			if c := eng.Cache(); c != nil {
+				s := c.Stats()
+				fmt.Printf("cache: %d hits, %d misses, %d entries\n", s.Hits, s.Misses, s.Entries)
+			}
+		case "cache":
+			switch arg {
+			case "", "stats":
+				if c := eng.Cache(); c != nil {
+					s := c.Stats()
+					fmt.Printf("cache on: %d hits, %d misses, %d evictions, %d entries\n",
+						s.Hits, s.Misses, s.Evictions, s.Entries)
+				} else {
+					fmt.Println("cache off")
+				}
+			case "off":
+				eng.SetCache(nil)
+				fmt.Println("cache off")
+			default:
+				n := 0
+				if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
+					fmt.Println("usage: cache [n|off|stats]")
+					continue
+				}
+				eng.SetCache(query.NewCache(n))
+				if n <= 0 {
+					n = query.DefaultCacheEntries
+				}
+				fmt.Printf("cache on (%d entries max)\n", n)
+				if backend == core.BackendS3 {
+					fmt.Println("note: the store backend's plans never consult the cache (only database plans do)")
+				}
+			}
 		case "verify":
 			rep, err := core.VerifiedFetch(dep, backend, arg, 5)
 			if err != nil {

@@ -13,6 +13,7 @@ import (
 	"passcloud/internal/pasfs"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
+	"passcloud/internal/query"
 	"passcloud/internal/sim"
 	"passcloud/internal/trace"
 )
@@ -72,26 +73,30 @@ func main() {
 	}
 	fmt.Printf("faulty object: mnt/calib/cal-A.par (%s)\n\n", badRef)
 
-	// Walk descendants through the *cloud-recorded* provenance (not the
-	// local graph): repeated indexed lookups of items that reference the
-	// frontier, exactly like query Q4.
-	tainted, err := descendants(dep, badRef)
-	if err != nil {
-		log.Fatal(err)
+	// One declarative query over the *cloud-recorded* provenance (not the
+	// local graph) replaces the hand-rolled BFS this example used to carry:
+	// everything derived from the faulty ref, filtered to named file
+	// versions, with full bundles so the names print directly. The engine
+	// runs it as Q4's plan — one round of indexed, IN-batched SELECTs per
+	// derivation level.
+	eng := query.New(dep, core.BackendSDB)
+	eng.SetCache(query.NewCache(0))
+	taintSpec := query.Spec{
+		Roots:     query.Roots{Refs: []prov.Ref{badRef}},
+		Direction: query.Descendants,
+		Filter:    query.And(query.TypeIs(prov.File), query.Not(query.NameIs(""))),
+		Project:   query.ProjectBundles,
 	}
+	fmt.Println("plan:", eng.Describe(taintSpec))
 	fmt.Println("tainted derivations:")
 	taintedNames := make(map[string]bool)
-	for _, ref := range tainted {
-		bundles, err := core.ReadProvenance(dep, core.BackendSDB, ref.UUID)
+	for r, err := range eng.Run(taintSpec) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, bn := range bundles {
-			if bn.Ref == ref && bn.Type == prov.File && bn.Name != "" {
-				fmt.Printf("  %s (v%d)\n", bn.Name, ref.Version)
-				taintedNames[bn.Name] = true
-			}
-		}
+		fmt.Printf("  %s (v%d, %d hops from the bad calibration)\n",
+			r.Bundle.Name, r.Ref.Version, r.Depth)
+		taintedNames[r.Bundle.Name] = true
 	}
 
 	fmt.Println("\nsafe outputs:")
@@ -104,35 +109,4 @@ func main() {
 	if taintedNames["mnt/atlas/stripe82.fits"] {
 		fmt.Println("\nthe stripe82 atlas is tainted through frames 2-3 and must be regenerated")
 	}
-}
-
-// descendants is a Q4-style transitive walk over the database backend.
-func descendants(dep *core.Deployment, root prov.Ref) ([]prov.Ref, error) {
-	seen := map[prov.Ref]bool{root: true}
-	frontier := []prov.Ref{root}
-	var out []prov.Ref
-	for len(frontier) > 0 {
-		var next []prov.Ref
-		for _, ref := range frontier {
-			expr := fmt.Sprintf("select itemName() from %s where %s = '%s'",
-				core.DomainName, prov.AttrInput, ref)
-			items, _, _, err := dep.DB.SelectAll(expr)
-			if err != nil {
-				return nil, err
-			}
-			for _, it := range items {
-				r, err := prov.ParseRef(it.Name)
-				if err != nil {
-					return nil, err
-				}
-				if !seen[r] {
-					seen[r] = true
-					next = append(next, r)
-					out = append(out, r)
-				}
-			}
-		}
-		frontier = next
-	}
-	return out, nil
 }

@@ -13,6 +13,7 @@ import (
 	"passcloud/internal/query"
 	"passcloud/internal/sim"
 	"passcloud/internal/trace"
+	"passcloud/internal/uuid"
 )
 
 func main() {
@@ -85,15 +86,21 @@ func main() {
 		walk.Visited, len(walk.Dangling))
 
 	// 8. Deleting the data does not delete its history
-	// (data-independent persistence).
+	// (data-independent persistence): the versions query still answers by
+	// uuid after the primary object is gone.
 	if err := p3.Delete("mnt/report.txt"); err != nil {
 		log.Fatal(err)
 	}
 	dep.Settle()
-	if _, err := core.ReadProvenance(dep, core.BackendSDB, ref.UUID); err != nil {
+	survived, err := eng.CollectBundles(query.Spec{
+		Roots:     query.Roots{UUIDs: []uuid.UUID{ref.UUID}},
+		Direction: query.Versions,
+	})
+	if err != nil || len(survived) == 0 {
 		log.Fatal("provenance lost after delete: ", err)
 	}
-	fmt.Println("data deleted; provenance still readable — persistence holds")
+	fmt.Printf("data deleted; %d provenance version(s) still readable — persistence holds\n",
+		len(survived))
 
 	// What did this session cost?
 	fmt.Printf("\nsession cloud bill: $%.4f (%s)\n",

@@ -17,6 +17,7 @@ import (
 	"passcloud/internal/query"
 	"passcloud/internal/sim"
 	"passcloud/internal/trace"
+	"passcloud/internal/uuid"
 )
 
 // runPipeline executes the photometry pipeline once, on the given JVM
@@ -50,7 +51,11 @@ func main() {
 	}
 	dep.Settle()
 
+	// Both runs read the same frame and calibration files, so the two
+	// ancestry walks fetch many identical immutable items; the engine's
+	// read-through cache serves the second walk's shared items client-side.
 	eng := query.New(dep, core.BackendSDB)
+	eng.SetCache(query.NewCache(0))
 	monday, _, err := eng.ObjectProvenance("mnt/results/mags-monday.csv")
 	if err != nil {
 		log.Fatal(err)
@@ -62,11 +67,11 @@ func main() {
 
 	// Expand one ancestry level: the writing process and what it read.
 	fmt.Println("provenance diff, monday vs tuesday:")
-	mset, err := ancestrySignature(dep, monday)
+	mset, err := ancestrySignature(eng, monday)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tset, err := ancestrySignature(dep, tuesday)
+	tset, err := ancestrySignature(eng, tuesday)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,11 +89,24 @@ func main() {
 	} else {
 		fmt.Printf("\n%d difference(s); the JVM swap is \"readily apparent in the provenance\" (§2.2)\n", diffs)
 	}
+	if s := eng.Cache().Stats(); s.Hits > 0 {
+		fmt.Printf("(read-through cache served %d of %d item lookups client-side)\n",
+			s.Hits, s.Hits+s.Misses)
+	}
+}
+
+// versionsOf queries every recorded version of an object uuid through the
+// composable API (Q2's routed single-shard plan, read through the cache).
+func versionsOf(eng *query.Engine, u uuid.UUID) ([]prov.Bundle, error) {
+	return eng.CollectBundles(query.Spec{
+		Roots:     query.Roots{UUIDs: []uuid.UUID{u}},
+		Direction: query.Versions,
+	})
 }
 
 // ancestrySignature summarizes an output's one-hop ancestry: the process
 // attributes and the names of everything it read.
-func ancestrySignature(dep *core.Deployment, bundles []prov.Bundle) (map[string]string, error) {
+func ancestrySignature(eng *query.Engine, bundles []prov.Bundle) (map[string]string, error) {
 	sig := make(map[string]string)
 	for _, b := range bundles {
 		for _, r := range b.Records {
@@ -96,7 +114,7 @@ func ancestrySignature(dep *core.Deployment, bundles []prov.Bundle) (map[string]
 				continue
 			}
 			// The writer process: fetch its bundle and record its inputs.
-			procBundles, err := core.ReadProvenance(dep, core.BackendSDB, r.Xref.UUID)
+			procBundles, err := versionsOf(eng, r.Xref.UUID)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +125,7 @@ func ancestrySignature(dep *core.Deployment, bundles []prov.Bundle) (map[string]
 					case pr.Attr == prov.AttrArgv:
 						sig["argv:"+pr.Value] = pr.Value
 					case pr.Attr == prov.AttrInput:
-						name, err := nameOf(dep, pr.Xref)
+						name, err := nameOf(eng, pr.Xref)
 						if err != nil {
 							return nil, err
 						}
@@ -122,8 +140,8 @@ func ancestrySignature(dep *core.Deployment, bundles []prov.Bundle) (map[string]
 }
 
 // nameOf resolves a ref to its recorded name attribute.
-func nameOf(dep *core.Deployment, ref prov.Ref) (string, error) {
-	bundles, err := core.ReadProvenance(dep, core.BackendSDB, ref.UUID)
+func nameOf(eng *query.Engine, ref prov.Ref) (string, error) {
+	bundles, err := versionsOf(eng, ref.UUID)
 	if err != nil {
 		return "", err
 	}

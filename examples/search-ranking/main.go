@@ -3,20 +3,31 @@
 // content search alone ranks by term matches, but provenance links between
 // files — like hyperlinks between web pages — let weight propagation
 // re-rank the results and surface related files the content pass missed.
+//
+// The archive is committed through protocol P3, so the ranking runs against
+// the cloud-recorded provenance via the composable query API (one
+// All-direction Spec streamed into a graph), not the client's local cache.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"passcloud/internal/core"
+	"passcloud/internal/pasfs"
 	"passcloud/internal/pass"
+	"passcloud/internal/query"
 	"passcloud/internal/search"
 	"passcloud/internal/sim"
 	"passcloud/internal/trace"
 )
 
 func main() {
-	col := pass.New(sim.NewRand(7), nil)
+	env := sim.NewEnv(sim.DefaultConfig())
+	dep := core.NewDeployment(env)
+	proto := core.NewP3(dep, core.Options{})
+	col := pass.New(env.Rand(), nil)
+	fs := pasfs.New(env, proto, col, pasfs.DefaultConfig())
 	b := trace.NewBuilder()
 
 	// A small research archive: a simulation produces raw traces; an
@@ -46,12 +57,24 @@ func main() {
 	other := b.Spawn(0, "/usr/bin/backup", "backup")
 	b.Write(other, "mnt/misc/photos-index.db", 5<<20).Close(other, "mnt/misc/photos-index.db")
 
-	for _, ev := range b.Trace().Events {
-		if err := col.Apply(ev); err != nil {
-			log.Fatal(err)
-		}
+	if err := fs.Run(b.Trace()); err != nil {
+		log.Fatal(err)
 	}
-	g := col.Graph()
+	if err := proto.Settle(); err != nil {
+		log.Fatal(err)
+	}
+	dep.Settle()
+
+	eng := query.New(dep, core.BackendSDB)
+
+	// One streamed drain of the stored provenance feeds both phases (what
+	// search.RerankStored bundles into a single call when the seeds aren't
+	// needed separately — the All-direction drain is the expensive part, so
+	// it should run once).
+	g, err := query.CollectGraph(eng.Run(query.Spec{Direction: query.All, Project: query.ProjectBundles}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Phase 1: pure content search for "latency" — finds only files whose
 	// content (here: name) matches.

@@ -20,6 +20,7 @@ import (
 	"passcloud/internal/core"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
+	"passcloud/internal/query"
 	"passcloud/internal/sim"
 	"passcloud/internal/trace"
 	"passcloud/internal/uuid"
@@ -134,13 +135,18 @@ func run(k, workers, txns int) (*core.Deployment, string) {
 	dep.Settle()
 
 	env.Clock().SetScale(0) // read back instantly, outside the measurement
-	h := sha256.New()
-	for _, u := range refs {
-		bundles, err := core.ReadProvenance(dep, core.BackendSDB, u)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h.Write(prov.EncodeBundles(bundles))
+	// Read every object's versions back through the query API: one Versions
+	// spec covering all uuids, each routed to its home shard. The digest
+	// must not depend on K.
+	eng := query.New(dep, core.BackendSDB)
+	bundles, err := eng.CollectBundles(query.Spec{
+		Roots:     query.Roots{UUIDs: refs},
+		Direction: query.Versions,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	h := sha256.New()
+	h.Write(prov.EncodeBundles(bundles))
 	return dep, hex.EncodeToString(h.Sum(nil))
 }

@@ -134,11 +134,20 @@ func BigQuery(seed int64, items, chains, depth int, forceScan bool) (BigQueryRun
 		f    func() (int, error)
 	}{
 		{"equality", func() (int, error) {
-			refs, err := core.FindByAttr(dep, core.BackendSDB, prov.AttrName, "mnt/big/c0000/f05")
+			// FindByAttr's shape as a Spec: one indexed SELECT, no traversal.
+			refs, err := e.CollectRefs(query.Spec{
+				Roots:     query.Roots{Attrs: []query.AttrMatch{{Attr: prov.AttrName, Value: "mnt/big/c0000/f05"}}},
+				Direction: query.Self,
+			})
 			return len(refs), err
 		}},
 		{"versions", func() (int, error) {
-			bundles, err := core.ReadProvenance(dep, core.BackendSDB, probeRef.UUID)
+			// ReadProvenance's shape as a Spec: a routed single-shard prefix
+			// SELECT over the uuid's version items.
+			bundles, err := e.CollectBundles(query.Spec{
+				Roots:     query.Roots{UUIDs: []uuid.UUID{probeRef.UUID}},
+				Direction: query.Versions,
+			})
 			return len(bundles), err
 		}},
 		{"direct-out", func() (int, error) {

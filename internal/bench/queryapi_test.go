@@ -1,0 +1,60 @@
+package bench
+
+import "testing"
+
+// queryAPICompare runs the repeated-query workload in both cache modes on
+// one configuration and applies the invariants that must hold at any scale:
+// identical result digests and strictly fewer billed SELECTs with the cache
+// on.
+func queryAPICompare(t *testing.T, items, chains, depth, repeats int) (uncached, cached QueryAPIRun) {
+	t.Helper()
+	uncached, err := QueryAPI(17, items, chains, depth, repeats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err = QueryAPI(17, items, chains, depth, repeats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.Digest != cached.Digest || uncached.Digest == "" {
+		t.Fatalf("cached results diverged: %s vs %s", uncached.Digest, cached.Digest)
+	}
+	if cached.Selects >= uncached.Selects {
+		t.Errorf("cache did not cut SELECTs: %d cached vs %d uncached", cached.Selects, uncached.Selects)
+	}
+	if cached.CacheHits == 0 {
+		t.Error("cached run recorded no hits")
+	}
+	t.Logf("uncached: sim=%.3fs selects=%d ops=%d", uncached.SimSeconds, uncached.Selects, uncached.TotalOps)
+	t.Logf("cached:   sim=%.3fs selects=%d ops=%d hits=%d misses=%d (%.1fx sim, %.1fx fewer selects)",
+		cached.SimSeconds, cached.Selects, cached.TotalOps, cached.CacheHits, cached.CacheMisses,
+		uncached.SimSeconds/cached.SimSeconds, float64(uncached.Selects)/float64(cached.Selects))
+	return uncached, cached
+}
+
+// TestQueryAPICacheIdentical is the always-on correctness check: a small
+// repeated workload returns byte-identical results with the cache on.
+func TestQueryAPICacheIdentical(t *testing.T) {
+	queryAPICompare(t, 2_000, 8, 5, 3)
+}
+
+// TestQueryCacheSpeedup is the acceptance gate for the read-path cache at
+// scale: on a repeated-traversal workload over ≥30k items the cache must
+// cut simulated query time by ≥2x and billed SELECTs below the uncached
+// run, with byte-identical results.
+func TestQueryCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N benchmark")
+	}
+	uncached, cached := queryAPICompare(t, 30_000, 48, 10, 6)
+	if uncached.SimSeconds < 2*cached.SimSeconds {
+		t.Errorf("simulated time: uncached %.3fs vs cached %.3fs — %.2fx, want >= 2x",
+			uncached.SimSeconds, cached.SimSeconds, uncached.SimSeconds/cached.SimSeconds)
+	}
+	// After the cold pass every repeat is served client-side: the cached
+	// run's SELECT spend must stay within ~one cold pass, not repeats of it.
+	coldPass := uncached.Selects / int64(uncached.Repeats)
+	if cached.Selects > coldPass+coldPass/2 {
+		t.Errorf("cached SELECTs %d exceed 1.5x one cold pass (%d)", cached.Selects, coldPass)
+	}
+}

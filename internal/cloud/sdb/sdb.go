@@ -93,6 +93,7 @@ type Domain struct {
 	sorted    []string              // cached sorted item names; nil when stale
 	idx       map[string]*attrIndex // per-attribute secondary indexes
 	forceScan bool                  // ablation: disable the indexes
+	selectErr error                 // fault injection: fail every SELECT
 	gen       uint64                // write generation; invalidates cached plans
 	lastPlan  planCache             // resolved candidates of the latest query
 
@@ -134,6 +135,16 @@ func (d *Domain) count(kind string, payload int64) {
 func (d *Domain) SetForceScan(v bool) {
 	d.mu.Lock()
 	d.forceScan = v
+	d.mu.Unlock()
+}
+
+// SetSelectError makes every subsequent SELECT against this domain fail
+// with err (nil clears the fault) — fault injection for tests that verify
+// readers propagate a mid-scatter shard failure instead of hanging or
+// returning partial results.
+func (d *Domain) SetSelectError(err error) {
+	d.mu.Lock()
+	d.selectErr = err
 	d.mu.Unlock()
 }
 
@@ -372,6 +383,12 @@ func (d *Domain) SelectQuery(q Query, nextToken string) (SelectPage, error) {
 func (d *Domain) selectPage(q *Query, nextToken string) (SelectPage, error) {
 	if q.Domain != d.name {
 		return SelectPage{}, fmt.Errorf("sdb: unknown domain %q in select", q.Domain)
+	}
+	d.mu.Lock()
+	failErr := d.selectErr
+	d.mu.Unlock()
+	if failErr != nil {
+		return SelectPage{}, failErr
 	}
 	now := d.env.Now()
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/par"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
 	"passcloud/internal/sim"
@@ -687,14 +688,14 @@ func TestRunParallel(t *testing.T) {
 			return nil
 		}
 	}
-	err := runParallel(8, tasks)
+	err := par.Run(8, tasks)
 	if err == nil || !strings.Contains(err.Error(), "task 17") {
 		t.Fatalf("err = %v", err)
 	}
 	if count != 50 {
 		t.Fatalf("ran %d of 50 tasks", count)
 	}
-	if err := runParallel(4, nil); err != nil {
+	if err := par.Run(4, nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/cloud/store"
+	"passcloud/internal/par"
 	"passcloud/internal/prov"
 )
 
@@ -65,7 +66,7 @@ func putItems(db *sdb.DomainSet, reqs []sdb.PutRequest, conns int, ordered bool)
 			tasks = append(tasks, func() error { return dom.BatchPutAttributes(batch) })
 			start = end
 		}
-		return runSequential(tasks)
+		return par.Sequential(tasks)
 	}
 	perShard := make([][]sdb.PutRequest, db.Shards())
 	if db.Shards() == 1 {
@@ -88,7 +89,7 @@ func putItems(db *sdb.DomainSet, reqs []sdb.PutRequest, conns int, ordered bool)
 			tasks = append(tasks, func() error { return dom.BatchPutAttributes(batch) })
 		}
 	}
-	return runParallel(conns, tasks)
+	return par.Run(conns, tasks)
 }
 
 // ResolveValue fetches a possibly spilled attribute value: inline values

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"passcloud/internal/cloud/store"
+	"passcloud/internal/par"
 	"passcloud/internal/prov"
 	"passcloud/internal/uuid"
 )
@@ -79,15 +80,15 @@ func (p *P1) Commit(obj FileObject, bundles []prov.Bundle) error {
 	}
 	if p.crashBeforeData {
 		p.crashBeforeData = false
-		if err := runSequential(tasks); err != nil {
+		if err := par.Sequential(tasks); err != nil {
 			return err
 		}
 		return ErrSimulatedCrash
 	}
 	if p.opts.Ordered {
-		return runSequential(append(tasks, dataTask))
+		return par.Sequential(append(tasks, dataTask))
 	}
-	return runParallel(p.opts.ProvConns, append(tasks, dataTask))
+	return par.Run(p.opts.ProvConns, append(tasks, dataTask))
 }
 
 // appendProv appends encoded bundles to the uuid's provenance object.

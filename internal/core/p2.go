@@ -2,6 +2,7 @@ package core
 
 import (
 	"passcloud/internal/cloud/store"
+	"passcloud/internal/par"
 	"passcloud/internal/prov"
 )
 
@@ -68,9 +69,9 @@ func (p *P2) Commit(obj FileObject, bundles []prov.Bundle) error {
 		return ErrSimulatedCrash
 	}
 	if p.opts.Ordered {
-		return runSequential([]func() error{provTask, dataTask})
+		return par.Sequential([]func() error{provTask, dataTask})
 	}
-	return runParallel(2, []func() error{provTask, dataTask})
+	return par.Run(2, []func() error{provTask, dataTask})
 }
 
 // Delete removes the primary object; items in the database are untouched.

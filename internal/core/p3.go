@@ -11,6 +11,7 @@ import (
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/cloud/sqs"
 	"passcloud/internal/cloud/store"
+	"passcloud/internal/par"
 	"passcloud/internal/prov"
 	"passcloud/internal/uuid"
 )
@@ -257,7 +258,7 @@ func (p *P3) sendWAL(wal *sqs.Queue, msgs [][]byte) error {
 				return err
 			}
 		}
-		return runParallel(p.opts.ProvConns, tasks)
+		return par.Run(p.opts.ProvConns, tasks)
 	}
 	var tasks []func() error
 	for start := 0; start < len(msgs); start += sqs.MaxBatchEntries {
@@ -271,7 +272,7 @@ func (p *P3) sendWAL(wal *sqs.Queue, msgs [][]byte) error {
 			return err
 		})
 	}
-	return runParallel(p.opts.ProvConns, tasks)
+	return par.Run(p.opts.ProvConns, tasks)
 }
 
 // maxAssemblyBudget caps how many ReceiveMessage calls one batched commit
@@ -493,7 +494,7 @@ func (p *P3) deleteReceipts(wal *sqs.Queue, receipts []string) error {
 		batch := receipts[start:end]
 		tasks = append(tasks, func() error { return wal.DeleteMessageBatch(batch) })
 	}
-	errs = append(errs, runParallelAll(p.opts.ProvConns, tasks)...)
+	errs = append(errs, par.RunAll(p.opts.ProvConns, tasks)...)
 	return errors.Join(errs...)
 }
 
@@ -636,7 +637,7 @@ func (p *P3) commitGroup(group []*txnState) error {
 			return nil
 		}
 	}
-	if err := runParallel(p.opts.DataConns, tasks); err != nil {
+	if err := par.Run(p.opts.DataConns, tasks); err != nil {
 		errs = append(errs, err)
 	}
 

@@ -1,0 +1,99 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEverythingAndReturnsFirstError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	tasks := make([]func() error, 50)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() error {
+			ran.Add(1)
+			if i%10 == 3 {
+				return fmt.Errorf("task %d: %w", i, boom)
+			}
+			return nil
+		}
+	}
+	err := Run(8, tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want wrapped boom", err)
+	}
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d tasks, want all 50 despite errors", got)
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	if err := Run(4, nil); err != nil {
+		t.Fatalf("Run(nil) = %v", err)
+	}
+	if err := Run(0, []func() error{func() error { return nil }}); err != nil {
+		t.Fatalf("Run with workers=0 = %v", err)
+	}
+}
+
+func TestRunAllCollectsEveryError(t *testing.T) {
+	tasks := make([]func() error, 20)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() error {
+			if i%2 == 0 {
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		}
+	}
+	errs := RunAll(4, tasks)
+	if len(errs) != 10 {
+		t.Fatalf("collected %d errors, want 10", len(errs))
+	}
+}
+
+func TestForEachVisitsEachIndexOnce(t *testing.T) {
+	const n = 200
+	var mu sync.Mutex
+	seen := make(map[int]int, n)
+	results := make([]int, n)
+	err := ForEach(16, n, func(i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		results[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i])
+		}
+		if results[i] != i*i {
+			t.Fatalf("results[%d] = %d", i, results[i])
+		}
+	}
+}
+
+func TestSequentialStopsAtFirstError(t *testing.T) {
+	var ran int
+	boom := errors.New("boom")
+	err := Sequential([]func() error{
+		func() error { ran++; return nil },
+		func() error { ran++; return boom },
+		func() error { ran++; return nil },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d tasks, want 2 (stop at first error)", ran)
+	}
+}

@@ -1,0 +1,153 @@
+package query
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"passcloud/internal/prov"
+	"passcloud/internal/uuid"
+)
+
+// Cache is the client-side versioned read-through cache that sits under the
+// database executor. It exploits the one-row-per-version naming scheme of
+// §4.3.2: an item named uuid_version is immutable once its transaction
+// committed, so item-body entries never need invalidation. Three entry
+// kinds share one bounded LRU:
+//
+//	item/<uuid_version>        one node's bundle        immutable
+//	vers/<uuid>                all versions of an object observation
+//	kids/<uuid_version>        input-edge children       observation
+//	attr/<a>=<v>&...           attribute-match root set  observation
+//
+// The observation kinds cache *query results* (which refs exist, which items
+// reference a ref), and those sets can grow as new provenance commits. A
+// cached observation is therefore exactly an eventually consistent read — an
+// older but once-true view, the same semantics every uncached SELECT in this
+// system already has. Callers that need a fresh view call Flush (or query
+// through an engine without a cache); long-lived engines serving a settled,
+// append-quiet corpus (the repeated-traversal workloads of the read-path
+// benchmarks) hit invalidation-free steady state.
+//
+// Cache is safe for concurrent use. Values handed out are shared, not
+// copied: treat cached bundles and ref slices as read-only.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// DefaultCacheEntries is the capacity NewCache(0) provides.
+const DefaultCacheEntries = 4096
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an empty cache bounded to capacity entries (0 or
+// negative means DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Stats returns the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+// Flush drops every entry (counters survive). It is the coarse invalidation
+// for callers that committed new provenance and need observations refreshed.
+func (c *Cache) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element, c.cap)
+	c.mu.Unlock()
+}
+
+// lookup returns the cached value for key, counting a hit or miss. A nil
+// cache always misses without counting.
+func (c *Cache) lookup(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// store inserts or refreshes key, evicting from the LRU tail past capacity.
+func (c *Cache) store(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Key builders. Item names are globally unique (uuid_version) so the short
+// prefixes cannot collide across kinds.
+
+func itemKey(name string) string { return "item/" + name }
+func versKey(u uuid.UUID) string { return "vers/" + u.String() }
+func kidsKey(r prov.Ref) string  { return "kids/" + r.String() }
+
+// attrKey length-prefixes each component: attribute values are arbitrary
+// strings, so a separator-joined key would let distinct predicates collide
+// (e.g. {"name","x&type=proc"} vs {"name","x"},{"type","proc"}).
+func attrKey(ms []AttrMatch) string {
+	var b strings.Builder
+	b.WriteString("attr/")
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%d:%s%d:%s", len(m.Attr), m.Attr, len(m.Value), m.Value)
+	}
+	return b.String()
+}

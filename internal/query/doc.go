@@ -1,0 +1,65 @@
+// Package query is the declarative, composable provenance query layer over
+// both storage backends.
+//
+// A query is a [Spec]: which nodes to start from (Roots — by object path,
+// uuid, exact ref, or attribute predicate), which way to walk (Direction —
+// self, versions, ancestors, descendants, all), how far (MaxDepth), what to
+// keep ([Filter] — composable over type, name and attributes), and what to
+// emit (Projection — refs or full bundles). [Engine.Run] plans and executes
+// a Spec and streams results through an iter.Seq2 cursor, level by level
+// for traversals, so callers consume pages instead of materializing whole
+// closures; [Engine.Collect] and friends materialize when a slice is what
+// the caller wants. The four queries of the paper's §5.3 are thin wrappers
+// over four particular Specs ([Q1Spec] .. [Q4Spec]).
+//
+// # Plan selection
+//
+// The planner lowers one Spec to backend-specific plans:
+//
+// On the store backend (protocol P1) the store cannot index attributes, so
+// any query that selects or filters by attribute must fetch every
+// provenance object and evaluate locally — the whole-graph scan (LIST plus
+// parallel GETs, bounded by Spec.Workers). Only queries that name their
+// objects directly get targeted plans: Versions roots resolve through one
+// HEAD per path and one GET per provenance object (Q2's two-request shape).
+//
+// On the database backend (P2/P3) every access path is indexed or routed:
+//
+//   - attribute roots are one indexed SELECT (scatter-gathered across the
+//     sharded DomainSet and merged in canonical name order);
+//   - Versions is a name-prefix SELECT routed to the uuid's home shard
+//     (every version of an object co-shards, so this is a single-key
+//     lookup, not a scatter);
+//   - Descendants runs one round of IN-batched SELECTs per DAG level
+//     (SimpleDB allows 20 comparisons per predicate), each batch a
+//     scatter-gather, batches fanned out on up to Spec.Workers
+//     connections, following the schema's indexed input edges;
+//   - Ancestors fetches each level's bundles with itemName() IN batches and
+//     follows their cross references upward;
+//   - All drains SELECT * across all shards in parallel.
+//
+// Filters are evaluated client-side against full bundles and never prune
+// the traversal itself — a filtered-out process node still conducts the
+// walk to the file outputs behind it. Plans that only need identity use
+// itemName()-only SELECTs; a Filter or ProjectBundles widens the same
+// requests to carry attributes, changing bytes but never the request count.
+//
+// # The versioned read-through cache
+//
+// [Cache] sits under the database executor. Items are named uuid_version
+// and immutable once committed, so item-body entries need no invalidation;
+// version sets, child sets and attribute matches are cached as eventually
+// consistent observations (see the type's documentation). Repeated
+// traversals over a settled corpus then stop re-billing SELECTs: the
+// second identical BFS resolves entirely client-side. Engines default to
+// no cache, which keeps Q1–Q4 priced exactly as Table 5 measured them.
+//
+// # Results and determinism
+//
+// Traversal levels are emitted in canonical ref order and scans in
+// canonical name order, so a given (deployment, spec) pair streams
+// identically at any shard count, worker count or cache state — the
+// cross-shard equivalence tests pin this byte-for-byte. Each query's
+// Table-5 metrics (virtual time, bytes moved, requests issued) come from
+// [Engine.measure] via the wrappers.
+package query

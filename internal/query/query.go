@@ -1,27 +1,10 @@
-// Package query implements the four provenance queries of the paper's §5.3
-// over both provenance backends:
-//
-//	Q1  retrieve all the provenance ever recorded;
-//	Q2  given an object, retrieve the provenance of all its versions;
-//	Q3  find all the files directly output by a named program;
-//	Q4  find all the descendants of files derived from that program.
-//
-// On the store backend (protocol P1) queries that search by attribute must
-// list and fetch every provenance object and evaluate locally; on the
-// database backend (P2/P3) they translate into indexed SELECTs. Each query
-// reports elapsed virtual time, bytes transferred and requests issued —
-// the three columns of Table 5.
 package query
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
-	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/core"
 	"passcloud/internal/prov"
-	"passcloud/internal/uuid"
 )
 
 // Metrics is one Table-5 cell group: time, data moved, requests issued.
@@ -31,19 +14,31 @@ type Metrics struct {
 	Ops     int64
 }
 
-// Engine runs the queries against one deployment/backend pair.
+// Engine plans and executes Specs against one deployment/backend pair and
+// carries the optional read-through cache the database plans consult.
 type Engine struct {
 	dep     *core.Deployment
 	backend core.Backend
+	cache   *Cache
 }
 
-// New returns an engine. The backend must be BackendS3 or BackendSDB.
+// New returns an engine with no cache (every query prices exactly as the
+// paper's measurements did). The backend must be BackendS3 or BackendSDB.
 func New(dep *core.Deployment, backend core.Backend) *Engine {
 	return &Engine{dep: dep, backend: backend}
 }
 
 // Backend returns the provenance backend queried.
 func (e *Engine) Backend() core.Backend { return e.backend }
+
+// SetCache installs (or, with nil, removes) the versioned read-through
+// cache under the database executor. The store backend's whole-graph scans
+// are deliberately uncached — they are the plan of last resort, and caching
+// them would hide the asymmetry Table 5 exists to show.
+func (e *Engine) SetCache(c *Cache) { e.cache = c }
+
+// Cache returns the installed cache, or nil.
+func (e *Engine) Cache() *Cache { return e.cache }
 
 // measure runs f and computes the metrics delta around it.
 func (e *Engine) measure(f func() error) (Metrics, error) {
@@ -59,73 +54,56 @@ func (e *Engine) measure(f func() error) (Metrics, error) {
 	}, err
 }
 
-// scanStore fetches every provenance object from the store — the only plan
-// available to the S3 backend for whole-graph queries. workers > 1 runs the
-// GETs in parallel (the LIST pagination itself is sequential).
-func (e *Engine) scanStore(workers int) ([]prov.Bundle, error) {
-	keys, _, err := e.dep.Store.ListAll(core.ProvPrefix)
-	if err != nil {
-		return nil, err
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	bundlesPer := make([][]prov.Bundle, len(keys))
-	errs := make(chan error, len(keys))
-	sem := make(chan struct{}, workers)
-	for i, k := range keys {
-		i, k := i, k
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem }()
-			o, err := e.dep.Store.Get(k)
-			if err != nil {
-				errs <- err
-				return
-			}
-			bs, err := prov.DecodeBundles(o.Data)
-			if err != nil {
-				errs <- err
-				return
-			}
-			bundlesPer[i] = bs
-			errs <- nil
-		}()
-	}
-	var firstErr error
-	for range keys {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	var all []prov.Bundle
-	for _, bs := range bundlesPer {
-		all = append(all, bs...)
-	}
-	return all, nil
+// The four queries of the paper's §5.3, each a thin wrapper over one Spec:
+//
+//	Q1  retrieve all the provenance ever recorded;
+//	Q2  given an object, retrieve the provenance of all its versions;
+//	Q3  find all the files directly output by a named program;
+//	Q4  find all the descendants of files derived from that program.
+//
+// The wrappers add only the Table-5 metric measurement and the final
+// canonical sort the paper's scripts applied.
+
+// procSpecRoots selects process nodes of the given program name.
+func procSpecRoots(program string) Roots {
+	return Roots{Attrs: []AttrMatch{
+		{Attr: prov.AttrName, Value: program},
+		{Attr: prov.AttrType, Value: "proc"},
+	}}
 }
 
-// selectAllDB drains SELECT * — the database plan for Q1. Within one domain
-// the paged SELECT cannot be parallelized (each page needs the previous
-// page's token), but on a sharded fabric the domain set scatters the drain
-// across shards in parallel and merges back canonical name order.
-func (e *Engine) selectAllDB() ([]prov.Bundle, error) {
-	items, _, _, err := e.dep.DB.SelectAll("select * from " + core.DomainName)
-	if err != nil {
-		return nil, err
+// Q1Spec is the all-provenance query.
+func Q1Spec(workers int) Spec {
+	return Spec{Direction: All, Project: ProjectBundles, Workers: workers}
+}
+
+// Q2Spec is the per-object query: every version of the object a path links.
+func Q2Spec(path string) Spec {
+	return Spec{Roots: Roots{Paths: []string{path}}, Direction: Versions, Project: ProjectBundles}
+}
+
+// Q3Spec finds the direct outputs of a program. The paper's scripts counted
+// every referencing item, so the default carries no filter; pass e.g.
+// TypeIs(prov.File) to keep only file outputs (the filter both backends now
+// honour).
+func Q3Spec(program string, filter *Filter, workers int) Spec {
+	return Spec{
+		Roots:     procSpecRoots(program),
+		Direction: Descendants,
+		MaxDepth:  1,
+		Filter:    filter,
+		Workers:   workers,
 	}
-	bundles := make([]prov.Bundle, 0, len(items))
-	for _, it := range items {
-		b, err := core.BundleFromItem(it)
-		if err != nil {
-			return nil, err
-		}
-		bundles = append(bundles, b)
+}
+
+// Q4Spec finds the full transitive closure derived from a program.
+func Q4Spec(program string, filter *Filter, workers int) Spec {
+	return Spec{
+		Roots:     procSpecRoots(program),
+		Direction: Descendants,
+		Filter:    filter,
+		Workers:   workers,
 	}
-	return bundles, nil
 }
 
 // AllProvenance is Q1. workers applies to the store backend's GET fan-out.
@@ -133,11 +111,7 @@ func (e *Engine) AllProvenance(workers int) ([]prov.Bundle, Metrics, error) {
 	var out []prov.Bundle
 	m, err := e.measure(func() error {
 		var err error
-		if e.backend == core.BackendS3 {
-			out, err = e.scanStore(workers)
-		} else {
-			out, err = e.selectAllDB()
-		}
+		out, err = e.CollectBundles(Q1Spec(workers))
 		return err
 	})
 	return out, m, err
@@ -149,273 +123,38 @@ func (e *Engine) AllProvenance(workers int) ([]prov.Bundle, Metrics, error) {
 func (e *Engine) ObjectProvenance(path string) ([]prov.Bundle, Metrics, error) {
 	var out []prov.Bundle
 	m, err := e.measure(func() error {
-		meta, err := e.dep.Store.Head(core.DataKey(path))
-		if err != nil {
-			return err
-		}
-		u, err := uuid.Parse(meta[core.MetaUUID])
-		if err != nil {
-			return fmt.Errorf("query: object %s has no provenance link: %v", path, err)
-		}
-		out, err = core.ReadProvenance(e.dep, e.backend, u)
-		return err
-	})
-	return out, m, err
-}
-
-// DirectOutputsOf is Q3: files whose provenance names a process of the
-// given program as a direct input.
-func (e *Engine) DirectOutputsOf(program string, workers int) ([]prov.Ref, Metrics, error) {
-	var out []prov.Ref
-	m, err := e.measure(func() error {
 		var err error
-		out, err = e.directOutputs(program, workers)
+		out, err = e.CollectBundles(Q2Spec(path))
 		return err
 	})
 	return out, m, err
 }
 
-func (e *Engine) directOutputs(program string, workers int) ([]prov.Ref, error) {
-	if e.backend == core.BackendS3 {
-		bundles, err := e.scanStore(workers)
-		if err != nil {
-			return nil, err
-		}
-		g := graphOf(bundles)
-		return childrenFilesOf(g, procsNamed(g, program)), nil
-	}
-	procs, err := e.findProcsDB(program)
-	if err != nil {
-		return nil, err
-	}
-	children, err := e.referencingItemsDB(procs, workers)
-	if err != nil {
-		return nil, err
-	}
-	return filesOnly(children), nil
+// DirectOutputsOf is Q3: items whose provenance names a process of the
+// given program as a direct input. As in the paper's scripts the result is
+// unfiltered — process version bumps count alongside file outputs. (The
+// seed's store plan quietly filtered to files while its database plan did
+// not; both backends now share the unfiltered default, and running Q3Spec
+// with TypeIs(prov.File) restores the files-only view on either.)
+func (e *Engine) DirectOutputsOf(program string, workers int) ([]prov.Ref, Metrics, error) {
+	return e.refQuery(Q3Spec(program, nil, workers))
 }
 
 // DescendantsOf is Q4: the full transitive closure of everything derived
 // from the program's outputs.
 func (e *Engine) DescendantsOf(program string, workers int) ([]prov.Ref, Metrics, error) {
+	return e.refQuery(Q4Spec(program, nil, workers))
+}
+
+// refQuery measures a ref-projected spec and returns the canonically sorted
+// result set.
+func (e *Engine) refQuery(spec Spec) ([]prov.Ref, Metrics, error) {
 	var out []prov.Ref
 	m, err := e.measure(func() error {
 		var err error
-		out, err = e.descendants(program, workers)
+		out, err = e.CollectRefs(spec)
 		return err
 	})
+	sortRefs(out)
 	return out, m, err
-}
-
-func (e *Engine) descendants(program string, workers int) ([]prov.Ref, error) {
-	if e.backend == core.BackendS3 {
-		bundles, err := e.scanStore(workers)
-		if err != nil {
-			return nil, err
-		}
-		g := graphOf(bundles)
-		seen := make(map[prov.Ref]bool)
-		frontier := procsNamed(g, program)
-		var out []prov.Ref
-		for len(frontier) > 0 {
-			next := childrenOf(g, frontier)
-			frontier = frontier[:0]
-			for _, r := range next {
-				if !seen[r] {
-					seen[r] = true
-					out = append(out, r)
-					frontier = append(frontier, r)
-				}
-			}
-		}
-		sortRefs(out)
-		return out, nil
-	}
-	// Database plan: repeated indexed lookups, one round per DAG level
-	// (§5.3: "repeat the second step recursively").
-	frontier, err := e.findProcsDB(program)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[prov.Ref]bool)
-	var out []prov.Ref
-	for len(frontier) > 0 {
-		next, err := e.referencingItemsDB(frontier, workers)
-		if err != nil {
-			return nil, err
-		}
-		frontier = frontier[:0]
-		for _, r := range next {
-			if !seen[r] {
-				seen[r] = true
-				out = append(out, r)
-				frontier = append(frontier, r)
-			}
-		}
-	}
-	sortRefs(out)
-	return out, nil
-}
-
-// itemNameQuery is the SELECT itemName() template the traversal queries
-// share; callers copy it and bind a predicate, so one query shape is reused
-// across every BFS level instead of formatting and reparsing an expression
-// per batch.
-var itemNameQuery = sdb.Query{Domain: core.DomainName, ItemOnly: true}
-
-// refsOf parses the item names of a SELECT itemName() result.
-func refsOf(items []sdb.Item) ([]prov.Ref, error) {
-	refs := make([]prov.Ref, 0, len(items))
-	for _, it := range items {
-		r, err := prov.ParseRef(it.Name)
-		if err != nil {
-			return nil, err
-		}
-		refs = append(refs, r)
-	}
-	return refs, nil
-}
-
-// findProcsDB finds process items of the given program name.
-func (e *Engine) findProcsDB(program string) ([]prov.Ref, error) {
-	q := itemNameQuery
-	q.Where = sdb.And(sdb.Eq(prov.AttrName, program), sdb.Eq(prov.AttrType, "proc"))
-	items, _, _, err := e.dep.DB.SelectAllQuery(q)
-	if err != nil {
-		return nil, err
-	}
-	return refsOf(items)
-}
-
-// inBatch is how many input-reference values one SELECT's IN predicate
-// carries (SimpleDB allows 20 comparisons per predicate).
-const inBatch = 20
-
-// referencingItemsDB finds items whose input attribute references any of
-// refs, batching references into IN predicates and optionally running the
-// SELECTs in parallel. Referencing items can live on any domain shard, so
-// each IN batch is a scatter-gather SELECT (the domain set fans it out and
-// merges); the final sortRefs keeps the BFS frontier canonical either way.
-func (e *Engine) referencingItemsDB(refs []prov.Ref, workers int) ([]prov.Ref, error) {
-	if len(refs) == 0 {
-		return nil, nil
-	}
-	var batches [][]string
-	for start := 0; start < len(refs); start += inBatch {
-		end := start + inBatch
-		if end > len(refs) {
-			end = len(refs)
-		}
-		vals := make([]string, 0, end-start)
-		for _, r := range refs[start:end] {
-			vals = append(vals, r.String())
-		}
-		batches = append(batches, vals)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([][]prov.Ref, len(batches))
-	errs := make(chan error, len(batches))
-	sem := make(chan struct{}, workers)
-	for i, vals := range batches {
-		i, vals := i, vals
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem }()
-			q := itemNameQuery
-			q.Where = sdb.In(prov.AttrInput, vals...)
-			items, _, _, err := e.dep.DB.SelectAllQuery(q)
-			if err != nil {
-				errs <- err
-				return
-			}
-			rs, err := refsOf(items)
-			if err != nil {
-				errs <- err
-				return
-			}
-			results[i] = rs
-			errs <- nil
-		}()
-	}
-	var firstErr error
-	for range batches {
-		if err := <-errs; err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	var out []prov.Ref
-	for _, rs := range results {
-		out = append(out, rs...)
-	}
-	return out, nil
-}
-
-// Local graph evaluation helpers (the S3 plan's "process the query locally").
-
-func graphOf(bundles []prov.Bundle) *prov.Graph {
-	g := prov.NewGraph()
-	for _, b := range bundles {
-		// Duplicates can exist if a scan raced an append; last wins.
-		if g.Node(b.Ref) == nil {
-			g.AddBundle(b)
-		}
-	}
-	return g
-}
-
-func procsNamed(g *prov.Graph, program string) []prov.Ref {
-	var out []prov.Ref
-	for _, n := range g.Nodes() {
-		if n.Type == prov.Process && n.Name == program {
-			out = append(out, n.Ref)
-		}
-	}
-	return out
-}
-
-func childrenOf(g *prov.Graph, refs []prov.Ref) []prov.Ref {
-	want := make(map[prov.Ref]bool, len(refs))
-	for _, r := range refs {
-		want[r] = true
-	}
-	var out []prov.Ref
-	for _, n := range g.Nodes() {
-		for _, rec := range n.Records {
-			if rec.IsXref() && want[rec.Xref] {
-				out = append(out, n.Ref)
-				break
-			}
-		}
-	}
-	return out
-}
-
-func childrenFilesOf(g *prov.Graph, procs []prov.Ref) []prov.Ref {
-	var out []prov.Ref
-	for _, r := range childrenOf(g, procs) {
-		if n := g.Node(r); n != nil && n.Type == prov.File {
-			out = append(out, r)
-		}
-	}
-	sortRefs(out)
-	return out
-}
-
-// filesOnly keeps refs that are plausibly files; the database plan filters
-// client-side after fetching the referencing item names. Version-bump items
-// of processes are filtered by a follow-up existence check only when the
-// caller needs exactness; Table 5 counts them as results the way the paper
-// scripts did.
-func filesOnly(refs []prov.Ref) []prov.Ref {
-	sortRefs(refs)
-	return refs
-}
-
-func sortRefs(refs []prov.Ref) {
-	sort.Slice(refs, func(i, j int) bool { return refs[i].String() < refs[j].String() })
 }

@@ -123,6 +123,70 @@ func TestCrossShardEquivalence(t *testing.T) {
 	}
 }
 
+// specDigest folds a spec's full result stream (refs, depths and bundle
+// refs) into one hash.
+func specDigest(t *testing.T, e *Engine, spec Spec) string {
+	t.Helper()
+	h := sha256.New()
+	for r, err := range e.Run(spec) {
+		if err != nil {
+			t.Fatalf("spec %+v: %v", spec, err)
+		}
+		fmt.Fprintf(h, "%s@%d", r.Ref, r.Depth)
+		if r.Bundle != nil {
+			h.Write(prov.EncodeBundles([]prov.Bundle{*r.Bundle}))
+		}
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSpecCrossShardEquivalence is the new-API acceptance check: a spread
+// of Specs — the Q1–Q4 shapes plus the new ancestors, filtered and self
+// directions — must produce byte-identical result streams at K=1 and K=4
+// (the seeded replay commits identical provenance per topology, as
+// TestCrossShardEquivalence established), and within each topology the
+// stream must not change when the read-through cache turns on, cold or
+// warm.
+func TestSpecCrossShardEquivalence(t *testing.T) {
+	specs := []Spec{
+		{Direction: All, Project: ProjectBundles},
+		{Roots: Roots{Paths: []string{"mnt/out/hits1"}}, Direction: Versions, Project: ProjectBundles},
+		Q3Spec("blastall", nil, 4),
+		Q3Spec("blastall", TypeIs(prov.File), 4),
+		Q4Spec("blastall", nil, 4),
+		{Roots: Roots{Paths: []string{"mnt/out/hits2"}}, Direction: Ancestors, Project: ProjectBundles},
+		{Roots: procSpecRoots("blastfmt"), Direction: Self, Project: ProjectBundles},
+	}
+	var k1 []string
+	for _, k := range []int{1, 4} {
+		dep, _ := shardedBlast(t, k)
+		e := New(dep, core.BackendSDB)
+		uncached := make([]string, len(specs))
+		for i, s := range specs {
+			uncached[i] = specDigest(t, e, s)
+		}
+		if k == 1 {
+			k1 = uncached
+		} else {
+			for i := range specs {
+				if uncached[i] != k1[i] {
+					t.Errorf("spec %d: K=%d digest diverged from K=1", i, k)
+				}
+			}
+		}
+		e.SetCache(NewCache(0))
+		for i, s := range specs {
+			if got := specDigest(t, e, s); got != uncached[i] {
+				t.Errorf("K=%d spec %d: cold cache diverged from uncached", k, i)
+			}
+			if got := specDigest(t, e, s); got != uncached[i] {
+				t.Errorf("K=%d spec %d: warm cache diverged from uncached", k, i)
+			}
+		}
+	}
+}
+
 // TestRoutedQ2SingleShard checks Q2 on a sharded fabric routes to the home
 // shard: the object's provenance is found and the op count stays the
 // seed-shaped HEAD + one fetch (no K-way scatter).

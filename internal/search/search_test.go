@@ -3,8 +3,11 @@ package search
 import (
 	"testing"
 
+	"passcloud/internal/core"
+	"passcloud/internal/pasfs"
 	"passcloud/internal/pass"
 	"passcloud/internal/prov"
+	"passcloud/internal/query"
 	"passcloud/internal/sim"
 	"passcloud/internal/trace"
 )
@@ -120,6 +123,53 @@ func TestProcessesExcludedByDefault(t *testing.T) {
 	}
 	if !sawProc {
 		t.Fatal("KeepProcesses did not include the generating process")
+	}
+}
+
+// TestRerankStoredMatchesLocalGraph commits the archive through P3 and
+// checks the stored-provenance pipeline (query API end to end) ranks the
+// same set the collector's local graph does.
+func TestRerankStoredMatchesLocalGraph(t *testing.T) {
+	env := sim.NewEnv(sim.DefaultConfig())
+	dep := core.NewDeployment(env)
+	proto := core.NewP3(dep, core.Options{})
+	col := pass.New(env.Rand(), nil)
+	fs := pasfs.New(env, proto, col, pasfs.Config{Collect: true, AsyncCommits: false})
+
+	b := trace.NewBuilder()
+	gen := b.Spawn(0, "/bin/analyze", "analyze")
+	b.Read(gen, "mnt/dataset.csv", 1000)
+	b.Write(gen, "mnt/report-2009.txt", 100).Close(gen, "mnt/report-2009.txt")
+	b.Write(gen, "mnt/figures-2009.dat", 100).Close(gen, "mnt/figures-2009.dat")
+	other := b.Spawn(0, "/bin/unrelated", "unrelated")
+	b.Write(other, "mnt/notes.txt", 50).Close(other, "mnt/notes.txt")
+	if err := fs.Run(b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	dep.Settle()
+
+	eng := query.New(dep, core.BackendSDB)
+	eng.SetCache(query.NewCache(0))
+	stored, err := RerankStored(eng, "2009", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := col.Graph()
+	local := Rerank(g, ContentSearch(g, "2009"), DefaultOptions())
+	if len(stored) != len(local) {
+		t.Fatalf("stored pipeline ranked %d results, local graph %d", len(stored), len(local))
+	}
+	for i := range stored {
+		if stored[i].Ref != local[i].Ref {
+			t.Fatalf("rank %d diverged: stored %s vs local %s", i, stored[i].Ref, local[i].Ref)
+		}
+	}
+	// A different content query over the same archive reuses the pipeline.
+	if _, err := RerankStored(eng, "report", DefaultOptions()); err != nil {
+		t.Fatal(err)
 	}
 }
 
