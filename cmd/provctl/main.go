@@ -16,6 +16,8 @@
 //	cache [n|off|stats]  install/drop/inspect the read-through query cache
 //	verify <path>        coupling check (provenance-aware read)
 //	props                probe the Table-1 properties of this protocol
+//	topology             show the fabric topology: epochs, ranges, shard load
+//	reshard <K>          grow/shrink the live fabric to K WAL+domain shards
 //	bill                 show the accumulated cloud bill
 //	help / quit
 //
@@ -30,9 +32,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"passcloud/internal/bench"
@@ -43,6 +47,50 @@ import (
 	"passcloud/internal/sim"
 	"passcloud/internal/workload"
 )
+
+// printTopology renders both placement directories: epoch ids, hash ranges
+// and per-shard load (items / queued messages).
+func printTopology(dep *core.Deployment) {
+	fmt.Printf("topology: %d WAL shard(s) x %d domain shard(s)\n", dep.Topo.WALShards, dep.Topo.DBShards)
+	if c, ok, err := dep.ReadControl(); err == nil && ok {
+		// Audit the persisted routing against the live fabric: the control
+		// object's directory snapshots must route exactly as the in-memory
+		// directories do (an eventually consistent read of a just-updated
+		// control object can lag one state behind).
+		agree := "matches live routing"
+		persisted := sim.RestoreDirectory(c.DBDir)
+		live := dep.DB.Directory()
+		if persisted.Epoch() != live.Epoch() || persisted.Migrating() != live.Migrating() {
+			agree = fmt.Sprintf("LAGS live routing (persisted epoch %d, live %d) — stale read or pending ResumeReshard", persisted.Epoch(), live.Epoch())
+		}
+		fmt.Printf("control object (%s): state=%s, %s\n", core.FabricControlKey, c.State, agree)
+	} else {
+		fmt.Println("control object: none (fabric never resharded)")
+	}
+	renderDir := func(axis string, d *sim.Directory, load func(shard int) string) {
+		active := d.Active()
+		fmt.Printf("%s: epoch %d, %d shard(s)", axis, active.ID, active.Shards)
+		if t, ok := d.Target(); ok {
+			fmt.Printf(" -> migrating to epoch %d, %d shard(s)", t.ID, t.Shards)
+		}
+		fmt.Println()
+		for _, r := range active.Ranges {
+			fmt.Printf("  [%10d, ...) -> shard %d  %s\n", r.Start, r.Shard, load(r.Shard))
+		}
+	}
+	renderDir("domains", dep.DB.Directory(), func(s int) string {
+		if d := dep.DB.Shard(s); d != nil {
+			return fmt.Sprintf("(%s: %d items)", d.Name(), d.ItemCount())
+		}
+		return "(retired)"
+	})
+	renderDir("wal", dep.WAL.Directory(), func(s int) string {
+		if q := dep.WAL.Shard(s); q != nil {
+			return fmt.Sprintf("(%s: %d queued)", q.Name(), q.Len())
+		}
+		return "(retired)"
+	})
+}
 
 func main() {
 	wl := flag.String("workload", "challenge", "workload to replay (blast, nightly, challenge)")
@@ -110,7 +158,7 @@ func main() {
 		case "help":
 			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
 			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
-			fmt.Println("cache [n|off|stats] | verify <path> | props | bill | quit")
+			fmt.Println("cache [n|off|stats] | verify <path> | props | topology | reshard <K> | bill | quit")
 			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
 			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
 		case "ls":
@@ -247,6 +295,22 @@ func main() {
 				continue
 			}
 			bench.RenderTable1(os.Stdout, rows)
+		case "topology":
+			printTopology(dep)
+		case "reshard":
+			k, err := strconv.Atoi(arg)
+			if err != nil || k < 1 || k > core.MaxShards {
+				fmt.Printf("usage: reshard <K>  (1..%d)\n", core.MaxShards)
+				continue
+			}
+			stats, err := dep.Reshard(context.Background(), core.Topology{WALShards: k, DBShards: k})
+			if err != nil {
+				fmt.Println("reshard error:", err)
+				continue
+			}
+			fmt.Printf("resharded %dx%d -> %dx%d (epoch %d): copied %d items, GC'd %d, moved %d WAL messages\n",
+				stats.From.WALShards, stats.From.DBShards, stats.To.WALShards, stats.To.DBShards,
+				stats.Epoch, stats.CopiedItems, stats.GCItems, stats.WALMigrated)
 		case "bill":
 			u := env.Meter().Usage()
 			fmt.Printf("$%.4f  (%s)\n", u.Cost(0), u)

@@ -255,6 +255,17 @@ func (d *Domain) applyLocked(req PutRequest) {
 	d.items[req.Item] = append(hist, v)
 }
 
+// observeConsistent returns the latest committed version of an item — the
+// strongly consistent read path (ConsistentRead), which bypasses the
+// staleness window entirely.
+func (d *Domain) observeConsistent(name string) *itemVersion {
+	hist := d.items[name]
+	if len(hist) == 0 {
+		return nil
+	}
+	return hist[len(hist)-1]
+}
+
 // observe picks the item version a read sees at virtual time now,
 // implementing eventual consistency exactly as the object store does.
 func (d *Domain) observe(name string, now time.Duration) *itemVersion {
@@ -425,7 +436,12 @@ func (d *Domain) selectPage(q *Query, nextToken string) (SelectPage, error) {
 	examined, bytes := 0, 0
 	for _, name := range names[start:] {
 		examined++
-		v := d.observe(name, now)
+		var v *itemVersion
+		if q.Consistent {
+			v = d.observeConsistent(name)
+		} else {
+			v = d.observe(name, now)
+		}
 		if v == nil || v.deleted {
 			continue
 		}

@@ -31,6 +31,13 @@ type Query struct {
 	ItemOnly bool     // SELECT itemName()
 	Where    *Node
 	Limit    int
+	// Consistent requests a strongly consistent read (SimpleDB's
+	// ConsistentRead flag, added to the service in early 2010): the response
+	// reflects every write the domain acknowledged, with no staleness
+	// window. The resharder's copy and GC scans depend on it — an
+	// eventually consistent scan could miss a just-committed item and leak
+	// or lose it across a migration.
+	Consistent bool
 }
 
 // project applies the query's field selection to a matched item. The result

@@ -131,7 +131,7 @@ func TestShardSetRoutedLookup(t *testing.T) {
 			t.Fatalf("got %s, want %s", it.Name, name)
 		}
 	}
-	key := routeKey(names[0])
+	key := RouteKey(names[0])
 	q := Query{Domain: "prov", Where: Like(ItemNameKey, key+"_%")}
 	items, requests, _, err := s.SelectAllRouted(key, q)
 	if err != nil {
@@ -144,7 +144,7 @@ func TestShardSetRoutedLookup(t *testing.T) {
 		t.Fatalf("routed select used %d requests, want 1 (single-shard)", requests)
 	}
 	for _, it := range items {
-		if routeKey(it.Name) != key {
+		if RouteKey(it.Name) != key {
 			t.Fatalf("routed select leaked foreign item %s", it.Name)
 		}
 	}

@@ -37,12 +37,22 @@
 // routes single-object lookups to one shard while scatter-gathering
 // multi-shard SELECTs with a canonical name-order merge. The zero Topology
 // is the seed's single-queue/single-domain layout (the K=1 ablation).
+//
+// Topology is no longer fixed at creation: placement rides epoch-versioned
+// range directories (sim.Directory), and Reshard (reshard.go) grows or
+// shrinks a live fabric — double-write window, consistent copy streams,
+// atomic cutover, then GC of the drained ranges — without stopping ingest
+// and without changing a single query result. The migration is crash-safe
+// at every phase boundary (ResumeReshard rolls it forward from the
+// persisted ctl/fabric control object) and pinned by the crash matrix in
+// reshard_test.go.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/cloud/sqs"
@@ -142,13 +152,24 @@ func (t Topology) normalized() Topology {
 
 // Deployment bundles the service endpoints one client talks to. DB and WAL
 // are shard sets; with the default topology each holds a single endpoint
-// named exactly as the seed deployment named it.
+// named exactly as the seed deployment named it. Topo is the active
+// topology; a live Reshard (reshard.go) updates it at cutover.
 type Deployment struct {
 	Env   *sim.Env
 	Store *store.Store
 	DB    *sdb.DomainSet
 	WAL   *sqs.QueueSet
 	Topo  Topology
+
+	// Resharder state (reshard.go): reshardRunMu serializes whole Reshard
+	// runs (TryLock — a racing second resharder gets ErrReshardInFlight,
+	// never a directory panic); reshardMu guards the one-shot
+	// crash-injection hook of the migration test harness and the
+	// cutover-to-GC pending flag the cleaner picks up after a crash.
+	reshardRunMu sync.Mutex
+	reshardMu    sync.Mutex
+	reshardCrash ReshardCrashPoint
+	gcPending    bool
 }
 
 // DomainName is the logical SimpleDB domain holding provenance items;

@@ -50,30 +50,42 @@ func ReadProvenance(dep *Deployment, backend Backend, u uuid.UUID) ([]prov.Bundl
 		}
 		return prov.DecodeBundles(o.Data)
 	case BackendSDB:
-		// One item per version, named uuid_version: a name-prefix query
-		// returns every version and resolves through the sorted name table
-		// instead of scanning the domain. All versions of a uuid live in
-		// one domain shard, so the query routes to that shard alone — a
-		// single-key lookup, not a scatter.
-		q := sdb.Query{Domain: DomainName, Where: sdb.Like(sdb.ItemNameKey, u.String()+"_%")}
-		items, _, _, err := dep.DB.SelectAllRouted(u.String(), q)
+		// Acquire (not just snapshot) the routing view: the registration
+		// makes a concurrent reshard's GC wait for this read instead of
+		// deleting the uuid's items from their old home mid-lookup.
+		v, release := dep.DB.AcquireView()
+		defer release()
+		return ReadProvenanceView(v, u)
+	}
+	return nil, fmt.Errorf("core: backend records no provenance")
+}
+
+// ReadProvenanceView is ReadProvenance's database path against an explicit
+// routing view: one item per version, named uuid_version, so a name-prefix
+// query returns every version and resolves through the sorted name table
+// instead of scanning the domain. All versions of a uuid live in one domain
+// shard (per epoch), so the query routes to the uuid's home shard(s) alone —
+// a single-key lookup, not a scatter. The query engine passes the view it
+// snapshotted at Run start so one traversal cannot straddle a reshard
+// cutover.
+func ReadProvenanceView(v *sdb.DomainView, u uuid.UUID) ([]prov.Bundle, error) {
+	q := sdb.Query{Domain: DomainName, Where: sdb.Like(sdb.ItemNameKey, u.String()+"_%")}
+	items, _, _, err := v.SelectAllRouted(u.String(), q)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, ErrNoProvenance
+	}
+	bundles := make([]prov.Bundle, 0, len(items))
+	for _, it := range items {
+		b, err := BundleFromItem(it)
 		if err != nil {
 			return nil, err
 		}
-		if len(items) == 0 {
-			return nil, ErrNoProvenance
-		}
-		bundles := make([]prov.Bundle, 0, len(items))
-		for _, it := range items {
-			b, err := BundleFromItem(it)
-			if err != nil {
-				return nil, err
-			}
-			bundles = append(bundles, b)
-		}
-		return bundles, nil
+		bundles = append(bundles, b)
 	}
-	return nil, fmt.Errorf("core: backend records no provenance")
+	return bundles, nil
 }
 
 // CouplingReport is the outcome of one coupling check.

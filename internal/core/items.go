@@ -5,7 +5,6 @@ import (
 
 	"passcloud/internal/cloud/sdb"
 	"passcloud/internal/cloud/store"
-	"passcloud/internal/par"
 	"passcloud/internal/prov"
 )
 
@@ -42,54 +41,16 @@ func itemsFor(st *store.Store, bundles []prov.Bundle) ([]sdb.PutRequest, error) 
 	return reqs, nil
 }
 
-// putItems writes the requests with BatchPutAttributes in groups of at most
-// 25 (the service limit), each batch addressed to one shard of the domain
-// set so every call stays a single service request. Unordered mode (the
-// measured paths) partitions the requests by home shard first, filling each
-// shard's batches to the brim, and runs the calls on up to conns concurrent
-// connections — cross-shard transactions thus batch into their home domains
-// with no cross-domain calls. Ordered mode preserves the global
-// ancestors-first order: it walks the requests in sequence and cuts a batch
-// whenever the home shard changes (or the batch fills), writing batches
-// strictly one after another.
+// putItems writes the requests through the domain set's bulk writer:
+// BatchPutAttributes in groups of at most 25 (the service limit), each batch
+// addressed to one shard so every call stays a single service request.
+// Unordered mode (the measured paths) partitions the requests by home shard
+// first, filling each shard's batches to the brim, and runs the calls on up
+// to conns concurrent connections; ordered mode preserves the global
+// ancestors-first order. During a live reshard the set double-writes every
+// item to both epoch homes (see sdb.DomainSet.BulkPut).
 func putItems(db *sdb.DomainSet, reqs []sdb.PutRequest, conns int, ordered bool) error {
-	if ordered {
-		var tasks []func() error
-		for start := 0; start < len(reqs); {
-			shard := db.ShardForItem(reqs[start].Item)
-			end := start + 1
-			for end < len(reqs) && end-start < sdb.MaxBatchItems && db.ShardForItem(reqs[end].Item) == shard {
-				end++
-			}
-			batch := reqs[start:end]
-			dom := db.Shard(shard)
-			tasks = append(tasks, func() error { return dom.BatchPutAttributes(batch) })
-			start = end
-		}
-		return par.Sequential(tasks)
-	}
-	perShard := make([][]sdb.PutRequest, db.Shards())
-	if db.Shards() == 1 {
-		perShard[0] = reqs
-	} else {
-		for _, r := range reqs {
-			sh := db.ShardForItem(r.Item)
-			perShard[sh] = append(perShard[sh], r)
-		}
-	}
-	var tasks []func() error
-	for sh, rs := range perShard {
-		dom := db.Shard(sh)
-		for start := 0; start < len(rs); start += sdb.MaxBatchItems {
-			end := start + sdb.MaxBatchItems
-			if end > len(rs) {
-				end = len(rs)
-			}
-			batch := rs[start:end]
-			tasks = append(tasks, func() error { return dom.BatchPutAttributes(batch) })
-		}
-	}
-	return par.Run(conns, tasks)
+	return db.BulkPut(reqs, conns, ordered)
 }
 
 // ResolveValue fetches a possibly spilled attribute value: inline values

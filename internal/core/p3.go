@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -230,9 +231,13 @@ func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
 	}
 	msgs := encodeWAL(txn, hdr, prov.EncodeBundles(bundles), p.chunkSize)
 
-	// Every packet of the transaction goes to its home WAL shard, so any
-	// daemon polling that shard can reassemble it without cross-shard scans.
-	wal := p.dep.WAL.Shard(p.dep.WAL.ShardFor(txn.String()))
+	// Every packet of the transaction goes to its home WAL shard (resolved
+	// once, under one routing view, so a reshard cannot split a
+	// transaction's packets across queues), and any daemon polling that
+	// shard can reassemble it without cross-shard scans. The release keeps
+	// a shrinking reshard from retiring the queue mid-send.
+	wal, release := p.dep.WAL.HomeQueue(txn.String())
+	defer release()
 	if crashAt := p.takeClientCrash(len(msgs)); crashAt > 0 {
 		// Simulated client crash: only the first crashAt packets reach the
 		// WAL; the daemon must ignore the incomplete transaction.
@@ -344,6 +349,9 @@ func (p *P3) commitShards(shards []int) (bool, error) {
 	progress := false
 	for _, si := range shards {
 		wal := p.dep.WAL.Shard(si)
+		if wal == nil {
+			continue // shard retired by a shrink since the subscription was computed
+		}
 		budget := p.assemblyBudget()
 		conc := recvConcurrency
 		if p.serial || conc > budget {
@@ -516,7 +524,11 @@ func (p *P3) deleteReceiptPairs(pairs []shardReceipt) error {
 	}
 	var errs []error
 	for _, sh := range order {
-		if err := p.deleteReceipts(p.dep.WAL.Shard(sh), perShard[sh]); err != nil {
+		wal := p.dep.WAL.Shard(sh)
+		if wal == nil {
+			continue // shard retired by a shrink; its receipts died with it
+		}
+		if err := p.deleteReceipts(wal, perShard[sh]); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -783,14 +795,16 @@ func (p *P3) RunDaemon(stop <-chan struct{}, poll time.Duration) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			subs := p.walSubscription(i, workers)
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				progress, _ := p.commitShards(subs)
+				// Recompute the subscription every round: a live reshard can
+				// grow (or shrink) the WAL shard set under a running pool,
+				// and the new queues must be polled without a restart.
+				progress, _ := p.commitShards(p.walSubscription(i, workers))
 				if !progress {
 					p.dep.Env.Clock().Sleep(poll)
 				}
@@ -829,8 +843,10 @@ const CleanerMaxAge = 4 * 24 * time.Hour
 
 // RunCleaner makes one pass of the cleaner daemon: it forces a retention
 // pass on every WAL shard (garbage-collecting expired packets of abandoned
-// transactions even on shards no daemon happens to poll), then lists
-// temporary objects and deletes those not accessed within maxAge
+// transactions even on shards no daemon happens to poll), finishes any
+// reshard GC a dead resharder left pending (deleting the stale item copies
+// on drained ranges and retiring decommissioned shards — see reshard.go),
+// then lists temporary objects and deletes those not accessed within maxAge
 // (uncommitted leftovers of crashed clients). It returns the number of
 // temporary objects removed.
 func (p *P3) RunCleaner(maxAge time.Duration) (int, error) {
@@ -838,6 +854,9 @@ func (p *P3) RunCleaner(maxAge time.Duration) (int, error) {
 		maxAge = CleanerMaxAge
 	}
 	p.dep.WAL.GC()
+	if err := p.dep.FinishPendingReshardGC(context.Background()); err != nil {
+		return 0, err
+	}
 	keys, _, err := p.dep.Store.ListAll(TmpPrefix)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,604 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/par"
+	"passcloud/internal/sim"
+)
+
+// Live dynamic resharding of the cloud fabric.
+//
+// Topology used to be fixed at deployment creation; Reshard grows (or
+// shrinks) a running fabric without stopping ingest. The protocol rides the
+// epoch-versioned placement directories of the shard sets:
+//
+//  1. Prepare: open an epoch transition on both directories (creating the
+//     grown service domains/queues) and persist the fabric control object.
+//     From this moment every provenance item write lands on the union of
+//     its active- and target-epoch homes (the double-write window) and
+//     every read consults the same union, so nothing the copier has not
+//     reached yet can go unobserved.
+//  2. Barrier: wait for writes that routed under the previous epoch view to
+//     finish applying. Anything not double-written is now durably on its
+//     active-epoch shard.
+//  3. Copy: stream items out of each active-epoch shard with strongly
+//     consistent paged SELECTs, in bounded batches, and BatchPut the ones
+//     whose target-epoch home differs. The copy is idempotent — items are
+//     immutable, so re-copying after a crash rewrites identical bytes.
+//  4. Cutover: atomically promote the target epoch on both directories and
+//     persist the control object in the "gc" state. Reads now route by the
+//     new epoch alone; the stale copies left on the old shards are garbage.
+//  5. GC: delete items from shards that no longer own them, migrate any
+//     messages stranded on decommissioned WAL queues to their new homes,
+//     retire drained queue/domain slots (a shrink), and persist the
+//     control object as "stable".
+//
+// Every phase is idempotent and the control object is written ahead of the
+// state it describes becoming load-bearing, so a resharder killed at any
+// phase boundary recovers by re-running Reshard toward the same target (see
+// ResumeReshard); readers observe byte-identical query results throughout.
+
+// FabricControlKey is the store key of the fabric control object — the
+// persisted topology/epoch record a restarted resharder (or a fresh daemon
+// host) consults to learn which epoch the fabric is in.
+const FabricControlKey = "ctl/fabric"
+
+// Control-object states.
+const (
+	ControlStable    = "stable"    // one epoch, no migration in flight
+	ControlMigrating = "migrating" // double-write window open, copy running
+	ControlGC        = "gc"        // cutover done, old-shard garbage pending
+)
+
+// FabricControl is the persisted fabric state.
+type FabricControl struct {
+	State    string          `json:"state"`
+	Topology Topology        `json:"topology"`         // active topology
+	Target   *Topology       `json:"target,omitempty"` // set while migrating
+	WALDir   sim.DirSnapshot `json:"wal_dir"`
+	DBDir    sim.DirSnapshot `json:"db_dir"`
+}
+
+// ReshardCrashPoint names a phase boundary where the migration test harness
+// can kill the resharder.
+type ReshardCrashPoint int
+
+// Resharder crash points, in phase order.
+const (
+	ReshardCrashNone       ReshardCrashPoint = iota
+	ReshardCrashPreCopy                      // window open + control persisted, nothing copied
+	ReshardCrashMidCopy                      // first bounded batch copied, the rest not
+	ReshardCrashPreCutover                   // copy complete, both epochs still live
+	ReshardCrashPreGC                        // cutover persisted, old-shard garbage intact
+)
+
+// String names the crash point for test output.
+func (p ReshardCrashPoint) String() string {
+	switch p {
+	case ReshardCrashPreCopy:
+		return "pre-copy"
+	case ReshardCrashMidCopy:
+		return "mid-copy"
+	case ReshardCrashPreCutover:
+		return "pre-cutover"
+	case ReshardCrashPreGC:
+		return "post-cutover-pre-gc"
+	}
+	return "none"
+}
+
+// SetReshardDropAfter arms the one-shot migration crash hook: the next
+// Reshard dies (returns ErrSimulatedCrash) at the given phase boundary,
+// leaving the fabric exactly as a killed resharder process would.
+func (d *Deployment) SetReshardDropAfter(p ReshardCrashPoint) {
+	d.reshardMu.Lock()
+	d.reshardCrash = p
+	d.reshardMu.Unlock()
+}
+
+// takeReshardCrash consumes the hook if it is armed for point p.
+func (d *Deployment) takeReshardCrash(p ReshardCrashPoint) bool {
+	d.reshardMu.Lock()
+	defer d.reshardMu.Unlock()
+	if d.reshardCrash == p {
+		d.reshardCrash = ReshardCrashNone
+		return true
+	}
+	return false
+}
+
+// GCPending reports whether a cutover's old-shard garbage still awaits
+// collection (a resharder died between cutover and GC).
+func (d *Deployment) GCPending() bool {
+	d.reshardMu.Lock()
+	defer d.reshardMu.Unlock()
+	return d.gcPending
+}
+
+func (d *Deployment) setGCPending(v bool) {
+	d.reshardMu.Lock()
+	d.gcPending = v
+	d.reshardMu.Unlock()
+}
+
+// persistControl writes the fabric control object reflecting the current
+// directory state.
+func (d *Deployment) persistControl(state string, target *Topology) error {
+	c := FabricControl{
+		State:    state,
+		Topology: d.Topo,
+		Target:   target,
+		WALDir:   d.WAL.Directory().Snapshot(),
+		DBDir:    d.DB.Directory().Snapshot(),
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("core: encoding fabric control: %w", err)
+	}
+	return d.Store.Put(FabricControlKey, b, nil)
+}
+
+// ReadControl fetches the persisted fabric control object; ok is false when
+// no reshard ever ran on this deployment.
+func (d *Deployment) ReadControl() (FabricControl, bool, error) {
+	o, err := d.Store.Get(FabricControlKey)
+	if err != nil {
+		return FabricControl{}, false, nil // never persisted (or not yet visible)
+	}
+	var c FabricControl
+	if err := json.Unmarshal(o.Data, &c); err != nil {
+		return FabricControl{}, false, fmt.Errorf("core: decoding fabric control: %w", err)
+	}
+	return c, true, nil
+}
+
+// ReshardStats reports what one Reshard (or resume) did.
+type ReshardStats struct {
+	From, To    Topology
+	Epoch       int // active DB epoch id after completion
+	CopiedItems int // provenance items durably streamed to their new homes
+	GCItems     int // stale copies deleted from drained ranges
+	WALMigrated int // messages moved off decommissioned queues (shrink)
+}
+
+// reshardCopyPage bounds one copy-scan SELECT page: small enough that a
+// bounded batch of moves flushes between pages, large enough to amortize
+// the per-request latency.
+const reshardCopyPage = 200
+
+// reshardConns bounds the copier's and GC's concurrent service calls.
+const reshardConns = 16
+
+// ErrReshardInFlight is returned when a second resharder races an open one.
+var ErrReshardInFlight = errors.New("core: reshard already in flight")
+
+// Reshard is the package-level form of Deployment.Reshard.
+func Reshard(ctx context.Context, dep *Deployment, target Topology) (ReshardStats, error) {
+	return dep.Reshard(ctx, target)
+}
+
+// ResumeReshard recovers a migration whose resharder died: it reads the
+// persisted control object and rolls the fabric forward to the recorded
+// target. resumed is false when there is nothing to recover.
+func ResumeReshard(ctx context.Context, dep *Deployment) (ReshardStats, bool, error) {
+	c, ok, err := dep.ReadControl()
+	if err != nil {
+		return ReshardStats{}, false, err
+	}
+	if !ok || c.State == ControlStable {
+		// The control object was PUT moments before the crash, and an
+		// eventually consistent read may still serve its absence or a
+		// previous reshard's "stable" version. The open window itself is
+		// authoritative: if either directory is mid-transition (or a
+		// cutover's GC is pending), roll forward from that state instead of
+		// abandoning a double-write window that would otherwise stay open
+		// forever.
+		target := dep.activeTopology()
+		open := dep.GCPending()
+		if t, migrating := dep.DB.Directory().Target(); migrating {
+			target.DBShards, open = t.Shards, true
+		}
+		if t, migrating := dep.WAL.Directory().Target(); migrating {
+			target.WALShards, open = t.Shards, true
+		}
+		if !open {
+			return ReshardStats{}, false, nil
+		}
+		stats, err := dep.Reshard(ctx, target)
+		return stats, true, err
+	}
+	target := c.Topology
+	if c.State == ControlMigrating && c.Target != nil {
+		target = *c.Target
+	}
+	if c.State == ControlGC {
+		dep.setGCPending(true)
+	}
+	stats, err := dep.Reshard(ctx, target)
+	return stats, true, err
+}
+
+// activeTopology derives the current topology from the directories (which
+// are internally locked) — the race-free way to read the fabric size while
+// a resharder may be running.
+func (d *Deployment) activeTopology() Topology {
+	return Topology{
+		WALShards: d.WAL.Directory().Active().Shards,
+		DBShards:  d.DB.Directory().Active().Shards,
+	}
+}
+
+// Reshard grows or shrinks the live fabric to target without stopping
+// ingest. It is safe to re-run toward the same target after a crash — every
+// phase is idempotent — and returns ErrSimulatedCrash when the test
+// harness's drop hook fires.
+func (d *Deployment) Reshard(ctx context.Context, target Topology) (ReshardStats, error) {
+	target = target.normalized()
+	stats := ReshardStats{To: target}
+	// One resharder at a time: concurrent runs are refused outright (no
+	// blocking — the caller of a long migration should not be ambushed by
+	// queueing behind another one), and a crashed migration can only be
+	// resumed toward its own target, never redirected mid-flight. Topo is
+	// only read or written under this lock while a resharder can exist, so
+	// the stats snapshot below cannot tear against a racing cutover.
+	if !d.reshardRunMu.TryLock() {
+		return stats, ErrReshardInFlight
+	}
+	defer d.reshardRunMu.Unlock()
+	stats.From = d.Topo
+	if t, ok := d.DB.Directory().Target(); ok && t.Shards != target.DBShards {
+		return stats, ErrReshardInFlight
+	}
+	if t, ok := d.WAL.Directory().Target(); ok && t.Shards != target.WALShards {
+		return stats, ErrReshardInFlight
+	}
+
+	// Phase 1 — prepare: open the epoch transitions (idempotent: an open
+	// migration to the same target resumes) and persist the control object
+	// before the window becomes load-bearing.
+	_, _, dbDone := d.DB.BeginMigration(target.DBShards)
+	_, _, walDone := d.WAL.BeginMigration(target.WALShards)
+	if dbDone && walDone {
+		if !d.GCPending() {
+			stats.Epoch = d.DB.Directory().Epoch()
+			return stats, nil // already at target, nothing pending
+		}
+		// Crash landed between cutover and GC: only phase 5 remains.
+		gcItems, walMoved, err := d.finishReshardGC(ctx, target)
+		stats.GCItems, stats.WALMigrated = gcItems, walMoved
+		stats.Epoch = d.DB.Directory().Epoch()
+		return stats, err
+	}
+	if err := d.persistControl(ControlMigrating, &target); err != nil {
+		return stats, err
+	}
+	if d.takeReshardCrash(ReshardCrashPreCopy) {
+		return stats, fmt.Errorf("%w: resharder at %s", ErrSimulatedCrash, ReshardCrashPreCopy)
+	}
+
+	// Phase 2 — barrier: wait out writes that routed before the window
+	// opened, so the copy scan below cannot miss a single-home write still
+	// in flight toward its old shard.
+	d.DB.DrainPriorWrites()
+	d.WAL.DrainPriorSends()
+
+	// Phase 3 — copy.
+	copied, err := d.reshardCopy(ctx)
+	stats.CopiedItems = copied
+	if err != nil {
+		return stats, err
+	}
+	// Visibility barrier: freshly copied items are eventually consistent on
+	// their new homes, and after cutover reads route there *alone*. Wait
+	// out the staleness window while the union-read window still covers
+	// every item through its old home — otherwise a long-settled item could
+	// transiently vanish right after cutover, which a static deployment
+	// would never do.
+	d.Env.Clock().Sleep(d.Env.Config().StalenessMean * 20)
+	if d.takeReshardCrash(ReshardCrashPreCutover) {
+		return stats, fmt.Errorf("%w: resharder at %s", ErrSimulatedCrash, ReshardCrashPreCutover)
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+
+	// Phase 4 — cutover: promote the target epoch on both directories,
+	// publish the new topology, and persist the pending-GC state.
+	d.DB.Cutover()
+	d.WAL.Cutover()
+	d.Topo = target
+	d.setGCPending(true)
+	if err := d.persistControl(ControlGC, nil); err != nil {
+		return stats, err
+	}
+	if d.takeReshardCrash(ReshardCrashPreGC) {
+		return stats, fmt.Errorf("%w: resharder at %s", ErrSimulatedCrash, ReshardCrashPreGC)
+	}
+
+	// Phase 5 — GC the drained ranges and retire decommissioned shards.
+	gcItems, walMoved, err := d.finishReshardGC(ctx, target)
+	stats.GCItems, stats.WALMigrated = gcItems, walMoved
+	stats.Epoch = d.DB.Directory().Epoch()
+	return stats, err
+}
+
+// reshardCopy streams every item whose target-epoch home differs from its
+// active-epoch shard to that new home, in bounded batches. The scan uses
+// strongly consistent SELECTs (an eventually consistent page could hide a
+// just-committed item long enough to lose it at cutover). One pass
+// suffices: the write barrier ran before it, and everything newer
+// double-writes. The returned count tallies only durably written items —
+// batches whose put failed (or never ran) do not count.
+func (d *Deployment) reshardCopy(ctx context.Context) (int, error) {
+	targetEpoch, ok := d.DB.Directory().Target()
+	if !ok {
+		return 0, nil // DB axis not migrating (WAL-only reshard)
+	}
+	activeEpoch := d.DB.Directory().Active()
+	sources := make(map[int]bool)
+	for _, r := range activeEpoch.Ranges {
+		sources[r.Shard] = true
+	}
+	var srcs []int
+	for s := 0; s < d.DB.Shards(); s++ {
+		if sources[s] {
+			srcs = append(srcs, s)
+		}
+	}
+	// Source shards stream independently, so they scan in parallel — the
+	// double-write window lasts max(shard scan), not their sum.
+	var copied atomic.Int64
+	err := par.ForEach(reshardConns, len(srcs), func(i int) error {
+		return d.copyShard(ctx, srcs[i], targetEpoch, &copied)
+	})
+	return int(copied.Load()), err
+}
+
+// copyShard streams one source shard's movers to their target-epoch homes.
+func (d *Deployment) copyShard(ctx context.Context, s int, targetEpoch sim.DirEpoch, copied *atomic.Int64) error {
+	dom := d.DB.Shard(s)
+	q := sdb.Query{Domain: dom.Name(), Consistent: true, Limit: reshardCopyPage}
+	token := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		page, err := dom.SelectQuery(q, token)
+		if err != nil {
+			return err
+		}
+		// Partition the page's movers by target home and flush the bounded
+		// batches in parallel.
+		perTarget := make(map[int][]sdb.PutRequest)
+		for _, it := range page.Items {
+			home := targetEpoch.Route(sdb.RouteKey(it.Name))
+			if home == s {
+				continue
+			}
+			perTarget[home] = append(perTarget[home], sdb.PutRequest{
+				Item: it.Name, Attrs: it.Attrs, Replace: true,
+			})
+		}
+		var tasks []func() error
+		for home, reqs := range perTarget {
+			dst := d.DB.Shard(home)
+			for start := 0; start < len(reqs); start += sdb.MaxBatchItems {
+				end := start + sdb.MaxBatchItems
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				batch := reqs[start:end]
+				tasks = append(tasks, func() error {
+					if err := dst.BatchPutAttributes(batch); err != nil {
+						return err
+					}
+					copied.Add(int64(len(batch)))
+					return nil
+				})
+			}
+		}
+		if err := par.Run(reshardConns, tasks); err != nil {
+			return err
+		}
+		if len(tasks) > 0 {
+			d.Env.Meter().CountOp("reshard.copyBatch", 0)
+			// One-shot (mutex-consumed) hook: exactly one shard's first
+			// flushed batch trips the mid-copy crash.
+			if d.takeReshardCrash(ReshardCrashMidCopy) {
+				return fmt.Errorf("%w: resharder at %s", ErrSimulatedCrash, ReshardCrashMidCopy)
+			}
+		}
+		if page.NextToken == "" {
+			return nil
+		}
+		token = page.NextToken
+	}
+}
+
+// FinishPendingReshardGC runs the GC a dead resharder left pending, if any.
+// The cleaner daemon calls it every pass; it defers to a live resharder (the
+// run lock is held) rather than racing its GC phase.
+func (d *Deployment) FinishPendingReshardGC(ctx context.Context) error {
+	if !d.GCPending() {
+		return nil
+	}
+	if !d.reshardRunMu.TryLock() {
+		return nil // a resharder is active; it owns the GC
+	}
+	defer d.reshardRunMu.Unlock()
+	if !d.GCPending() {
+		return nil
+	}
+	_, _, err := d.finishReshardGC(ctx, d.Topo)
+	return err
+}
+
+// finishReshardGC collects the garbage a cutover leaves behind: stale item
+// copies on shards that no longer own them, and — after a shrink — messages
+// stranded on decommissioned WAL queues, which are re-sent to their
+// new-epoch homes before the queues are retired. Idempotent; the cleaner
+// daemon re-runs it if the resharder died first.
+func (d *Deployment) finishReshardGC(ctx context.Context, target Topology) (gcItems, walMoved int, err error) {
+	if d.DB.Directory().Migrating() || d.WAL.Directory().Migrating() {
+		return 0, 0, fmt.Errorf("core: reshard GC before cutover")
+	}
+	// Writers that captured the double-write view before cutover may still
+	// be applying; wait them out so the GC scan below sees their old-home
+	// copies and removes them instead of leaving post-scan garbage. Then
+	// wait out readers holding pre-cutover views: a query that snapshotted
+	// a pre-migration, single-home routing view still resolves against the
+	// old homes, and deleting under it would truncate its results.
+	d.DB.DrainPriorWrites()
+	d.DB.DrainPriorReads()
+	activeEpoch := d.DB.Directory().Active()
+	// Shard scans are independent; run them in parallel so the stale-copy
+	// window (double-counted ItemCount, extra storage) closes in
+	// max(shard scan) rather than their sum.
+	var gcCount atomic.Int64
+	shardErr := par.ForEach(reshardConns, d.DB.Shards(), func(s int) error {
+		dom := d.DB.Shard(s)
+		q := sdb.Query{Domain: dom.Name(), ItemOnly: true, Consistent: true, Limit: reshardCopyPage}
+		token := ""
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			page, err := dom.SelectQuery(q, token)
+			if err != nil {
+				return err
+			}
+			var stale []string
+			for _, it := range page.Items {
+				if activeEpoch.Route(sdb.RouteKey(it.Name)) != s {
+					stale = append(stale, it.Name)
+				}
+			}
+			tasks := make([]func() error, len(stale))
+			for i, name := range stale {
+				name := name
+				tasks[i] = func() error { return dom.DeleteAttributes(name) }
+			}
+			if err := par.Run(reshardConns, tasks); err != nil {
+				return err
+			}
+			gcCount.Add(int64(len(stale)))
+			if page.NextToken == "" {
+				return nil
+			}
+			// Deleting behind the cursor does not disturb the name-ordered
+			// continuation: the token names the last emitted item, and the
+			// scan resumes strictly after it.
+			token = page.NextToken
+		}
+	})
+	gcItems = int(gcCount.Load())
+	if shardErr != nil {
+		return gcItems, walMoved, shardErr
+	}
+
+	// Shrink: move stranded messages off decommissioned queues, then retire
+	// the empty slots on both axes.
+	d.WAL.DrainPriorSends()
+	for s := target.WALShards; s < d.WAL.Shards(); s++ {
+		q := d.WAL.Shard(s)
+		if q == nil {
+			continue
+		}
+		moved, err := d.migrateQueue(ctx, q)
+		walMoved += moved
+		if err != nil {
+			return gcItems, walMoved, err
+		}
+	}
+	d.WAL.ShrinkTo(target.WALShards)
+	d.DB.ShrinkTo(target.DBShards)
+	d.setGCPending(false)
+	if err := d.persistControl(ControlStable, nil); err != nil {
+		return gcItems, walMoved, err
+	}
+	return gcItems, walMoved, nil
+}
+
+// migrateQueue drains one decommissioned WAL queue, re-sending every packet
+// to its transaction's new-epoch home queue. Messages a daemon is holding
+// invisible reappear after the visibility timeout, so the drain sleeps and
+// retries until the queue reports empty.
+func (d *Deployment) migrateQueue(ctx context.Context, q *sqs.Queue) (int, error) {
+	moved := 0
+	idle := 0
+	for q.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return moved, err
+		}
+		msgs := q.ReceiveMessage(10)
+		if len(msgs) == 0 {
+			idle++
+			if idle > 200 {
+				return moved, fmt.Errorf("core: decommissioned queue %s will not drain (%d messages held)", q.Name(), q.Len())
+			}
+			// Invisible messages: wait out the visibility timeout.
+			d.Env.Clock().Sleep(d.Env.Config().StalenessMean)
+			continue
+		}
+		idle = 0
+		for _, m := range msgs {
+			if pkt, err := decodeWAL(m.Body); err == nil {
+				home, release := d.WAL.HomeQueue(pkt.Txn.String())
+				_, serr := home.SendMessage(m.Body)
+				release()
+				if serr != nil {
+					return moved, serr
+				}
+				moved++
+			}
+			// Undecodable packets are dropped with their queue, exactly as
+			// retention would have expired them.
+			if err := q.DeleteMessage(m.ReceiptHandle); err != nil {
+				return moved, err
+			}
+		}
+	}
+	d.Env.Meter().CountOp("reshard.walMigrate", int64(moved))
+	return moved, nil
+}
+
+// AuditFabric scans every live domain shard with consistent reads and
+// verifies placement: every item lives on exactly its active-epoch home.
+// It returns the number of misplaced items (on a foreign shard — lost
+// capacity or pending GC) and duplicated items (present on more than one
+// shard). A settled, fully reshard-completed fabric must report 0/0; the
+// reshard benchmark gates on it.
+func AuditFabric(d *Deployment) (misplaced, duplicates int, err error) {
+	if d.DB.Directory().Migrating() {
+		return 0, 0, fmt.Errorf("core: audit during migration")
+	}
+	epoch := d.DB.Directory().Active()
+	seen := make(map[string]int)
+	for s := 0; s < d.DB.Shards(); s++ {
+		dom := d.DB.Shard(s)
+		q := sdb.Query{Domain: dom.Name(), ItemOnly: true, Consistent: true}
+		items, _, _, err := dom.SelectAllQuery(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, it := range items {
+			if epoch.Route(sdb.RouteKey(it.Name)) != s {
+				misplaced++
+			}
+			seen[it.Name]++
+		}
+	}
+	for _, n := range seen {
+		if n > 1 {
+			duplicates += n - 1
+		}
+	}
+	return misplaced, duplicates, nil
+}

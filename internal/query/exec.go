@@ -54,7 +54,16 @@ func (e *Engine) Run(spec Spec) iter.Seq2[Result, error] {
 		case e.backend == core.BackendS3:
 			err = (&s3Exec{e: e, spec: spec}).run(em)
 		case e.backend == core.BackendSDB:
-			err = (&dbExec{e: e, spec: spec}).run(em)
+			// Acquire the routing view once per Run: every BFS level and
+			// batch fetch of this traversal routes against the same epoch
+			// pair, so a reshard cutover mid-query cannot split one
+			// traversal across epochs. The acquisition registers with the
+			// reshard read barrier — a migration's GC waits for this
+			// iteration to finish (the release below) rather than deleting
+			// old-home items out from under a pre-window view.
+			view, release := e.dep.DB.AcquireView()
+			defer release()
+			err = (&dbExec{e: e, spec: spec, view: view}).run(em)
 		default:
 			err = fmt.Errorf("query: backend records no provenance")
 		}
@@ -229,6 +238,9 @@ var itemNameQuery = sdb.Query{Domain: core.DomainName, ItemOnly: true}
 type dbExec struct {
 	e    *Engine
 	spec Spec
+	// view is the routing snapshot every access path of this execution
+	// uses; capturing it once pins the whole query to one epoch pair.
+	view *sdb.DomainView
 }
 
 func (x *dbExec) workers() int {
@@ -270,7 +282,7 @@ func (x *dbExec) emitNode(em *emitter, ref prov.Ref, depth int, b *prov.Bundle) 
 // the drain across shards in parallel and merges back canonical name order.
 func (x *dbExec) runAll(em *emitter) error {
 	if !x.needBundles() {
-		items, _, _, err := x.e.dep.DB.SelectAllQuery(itemNameQuery)
+		items, _, _, err := x.view.SelectAllQuery(itemNameQuery)
 		if err != nil {
 			return err
 		}
@@ -285,7 +297,7 @@ func (x *dbExec) runAll(em *emitter) error {
 		}
 		return nil
 	}
-	items, _, _, err := x.e.dep.DB.SelectAll("select * from " + core.DomainName)
+	items, _, _, err := x.view.SelectAll("select * from " + core.DomainName)
 	if err != nil {
 		return err
 	}
@@ -579,7 +591,7 @@ func (x *dbExec) attrRoots(ms []AttrMatch) ([]prov.Ref, error) {
 	}
 	q := itemNameQuery
 	q.Where = pred
-	items, _, _, err := x.e.dep.DB.SelectAllQuery(q)
+	items, _, _, err := x.view.SelectAllQuery(q)
 	if err != nil {
 		return nil, err
 	}
@@ -592,15 +604,16 @@ func (x *dbExec) attrRoots(ms []AttrMatch) ([]prov.Ref, error) {
 }
 
 // versions returns every bundle recorded for an object uuid, read through
-// the cache's version observations; misses delegate to core.ReadProvenance
-// (a name-prefix SELECT routed to the uuid's home shard — all versions
+// the cache's version observations; misses delegate to
+// core.ReadProvenanceView against this execution's routing snapshot (a
+// name-prefix SELECT routed to the uuid's home shard — all versions
 // co-shard, so this is a single-key lookup, not a scatter; no recorded
 // versions is ErrNoProvenance).
 func (x *dbExec) versions(u uuid.UUID) ([]prov.Bundle, error) {
 	if v, ok := x.e.cache.lookup(versKey(u)); ok {
 		return v.([]prov.Bundle), nil
 	}
-	bundles, err := core.ReadProvenance(x.e.dep, core.BackendSDB, u)
+	bundles, err := core.ReadProvenanceView(x.view, u)
 	if err != nil {
 		return nil, err
 	}
@@ -668,7 +681,7 @@ func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundl
 		case cache != nil:
 			q.ItemOnly, q.Fields = false, []string{prov.AttrInput}
 		}
-		items, _, _, err := x.e.dep.DB.SelectAllQuery(q)
+		items, _, _, err := x.view.SelectAllQuery(q)
 		if err != nil {
 			return err
 		}
@@ -755,7 +768,7 @@ func (x *dbExec) bundlesFor(refs []prov.Ref) (map[prov.Ref]*prov.Bundle, error) 
 			names = append(names, r.String())
 		}
 		q := sdb.Query{Domain: core.DomainName, Where: sdb.In(sdb.ItemNameKey, names...)}
-		items, _, _, err := x.e.dep.DB.SelectAllQuery(q)
+		items, _, _, err := x.view.SelectAllQuery(q)
 		if err != nil {
 			return err
 		}

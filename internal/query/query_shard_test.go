@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -123,6 +124,21 @@ func TestCrossShardEquivalence(t *testing.T) {
 	}
 }
 
+// pinnedSpecs is the seven-shape equivalence corpus: the Q1–Q4 shapes plus
+// the ancestors, filtered and self directions. Every fabric state — any K,
+// any cache mode, any reshard phase — must stream these byte-identically.
+func pinnedSpecs() []Spec {
+	return []Spec{
+		{Direction: All, Project: ProjectBundles},
+		{Roots: Roots{Paths: []string{"mnt/out/hits1"}}, Direction: Versions, Project: ProjectBundles},
+		Q3Spec("blastall", nil, 4),
+		Q3Spec("blastall", TypeIs(prov.File), 4),
+		Q4Spec("blastall", nil, 4),
+		{Roots: Roots{Paths: []string{"mnt/out/hits2"}}, Direction: Ancestors, Project: ProjectBundles},
+		{Roots: procSpecRoots("blastfmt"), Direction: Self, Project: ProjectBundles},
+	}
+}
+
 // specDigest folds a spec's full result stream (refs, depths and bundle
 // refs) into one hash.
 func specDigest(t *testing.T, e *Engine, spec Spec) string {
@@ -149,15 +165,7 @@ func specDigest(t *testing.T, e *Engine, spec Spec) string {
 // stream must not change when the read-through cache turns on, cold or
 // warm.
 func TestSpecCrossShardEquivalence(t *testing.T) {
-	specs := []Spec{
-		{Direction: All, Project: ProjectBundles},
-		{Roots: Roots{Paths: []string{"mnt/out/hits1"}}, Direction: Versions, Project: ProjectBundles},
-		Q3Spec("blastall", nil, 4),
-		Q3Spec("blastall", TypeIs(prov.File), 4),
-		Q4Spec("blastall", nil, 4),
-		{Roots: Roots{Paths: []string{"mnt/out/hits2"}}, Direction: Ancestors, Project: ProjectBundles},
-		{Roots: procSpecRoots("blastfmt"), Direction: Self, Project: ProjectBundles},
-	}
+	specs := pinnedSpecs()
 	var k1 []string
 	for _, k := range []int{1, 4} {
 		dep, _ := shardedBlast(t, k)
@@ -209,5 +217,166 @@ func TestRoutedQ2SingleShard(t *testing.T) {
 	}
 	if m.Ops < 2 || m.Ops > 4 {
 		t.Fatalf("Q2 ops = %d, want 2-4 (routed, not scattered)", m.Ops)
+	}
+}
+
+// TestSpecEquivalenceDuringReshard walks the seven pinned spec shapes
+// through every phase of a live 1->4 reshard — mid-copy, pre-cutover,
+// post-cutover-pre-GC and completed — asserting byte-identical digests in
+// every state, uncached and with a cache that stays warm *across* the
+// epoch transitions (zero cache-coherence violations: a stale cached
+// observation that leaked a different result stream would flip a digest).
+func TestSpecEquivalenceDuringReshard(t *testing.T) {
+	specs := pinnedSpecs()
+	dep, _ := shardedBlast(t, 1)
+	e := New(dep, core.BackendSDB)
+
+	baseline := make([]string, len(specs))
+	for i, s := range specs {
+		baseline[i] = specDigest(t, e, s)
+	}
+
+	check := func(state string, cached *Engine) {
+		t.Helper()
+		for i, s := range specs {
+			if got := specDigest(t, e, s); got != baseline[i] {
+				t.Errorf("%s: spec %d uncached digest diverged", state, i)
+			}
+			if got := specDigest(t, cached, s); got != baseline[i] {
+				t.Errorf("%s: spec %d cached digest diverged", state, i)
+			}
+		}
+	}
+
+	// The cached engine keeps one cache warm across every migration state.
+	cached := New(dep, core.BackendSDB)
+	cached.SetCache(NewCache(0))
+	target := core.Topology{WALShards: 4, DBShards: 4}
+
+	// Phase walk: arm the next crash point, roll the migration forward to
+	// it, and re-run the whole corpus against the frozen state.
+	for _, point := range []core.ReshardCrashPoint{
+		core.ReshardCrashMidCopy, core.ReshardCrashPreCutover, core.ReshardCrashPreGC,
+	} {
+		dep.SetReshardDropAfter(point)
+		var err error
+		if point == core.ReshardCrashMidCopy {
+			_, err = dep.Reshard(context.Background(), target)
+		} else {
+			_, _, err = core.ResumeReshard(context.Background(), dep)
+		}
+		if err == nil {
+			t.Fatalf("crash at %s did not fire", point)
+		}
+		check(point.String(), cached)
+	}
+	if _, resumed, err := core.ResumeReshard(context.Background(), dep); err != nil || !resumed {
+		t.Fatalf("final resume: resumed=%v err=%v", resumed, err)
+	}
+	check("completed", cached)
+	if s := cached.Cache().Stats(); s.Hits == 0 {
+		t.Error("warm cache recorded no hits across the migration")
+	}
+}
+
+// TestQuerySnapshotSurvivesCutover pins the planner's per-Run epoch
+// snapshot: a traversal that begins against a mid-migration fabric and has
+// the cutover (and its GC) land between its levels must stream exactly what
+// it would have streamed without the race — the snapshotted view keeps the
+// whole traversal in one epoch pair.
+func TestQuerySnapshotSurvivesCutover(t *testing.T) {
+	dep, _ := shardedBlast(t, 1)
+	e := New(dep, core.BackendSDB)
+	spec := Q4Spec("blastall", nil, 4)
+	want := specDigest(t, e, spec)
+
+	dep.SetReshardDropAfter(core.ReshardCrashPreCutover)
+	if _, err := dep.Reshard(context.Background(), core.Topology{WALShards: 4, DBShards: 4}); err == nil {
+		t.Fatal("pre-cutover crash did not fire")
+	}
+
+	h := sha256.New()
+	first := true
+	resumeDone := make(chan error, 1)
+	for r, err := range e.Run(spec) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first {
+			first = false
+			// Cutover + GC race the iteration from another goroutine:
+			// items move home while this traversal is mid-flight, and the
+			// GC's read barrier must wait for the iteration's view to be
+			// released before deleting the old copies (running the resume
+			// inline here would therefore deadlock — by design).
+			go func() {
+				_, resumed, err := core.ResumeReshard(context.Background(), dep)
+				if err == nil && !resumed {
+					err = fmt.Errorf("nothing resumed")
+				}
+				resumeDone <- err
+			}()
+		}
+		fmt.Fprintf(h, "%s@%d", r.Ref, r.Depth)
+		if r.Bundle != nil {
+			h.Write(prov.EncodeBundles([]prov.Bundle{*r.Bundle}))
+		}
+		h.Write([]byte{'\n'})
+	}
+	if err := <-resumeDone; err != nil {
+		t.Fatalf("mid-iteration resume: %v", err)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Error("mid-iteration cutover split the traversal across epochs")
+	}
+	// And a fresh post-migration run still matches.
+	if got := specDigest(t, e, spec); got != want {
+		t.Error("post-migration digest diverged")
+	}
+}
+
+// TestQueryViewBlocksReshardGC pins the read barrier end-to-end: a query
+// that captured its routing view on a *stable* pre-migration fabric keeps
+// streaming correct results while an entire reshard — copy, cutover, GC —
+// runs concurrently; the GC waits for the iteration's view release instead
+// of deleting moved items out from under its single-home routing.
+func TestQueryViewBlocksReshardGC(t *testing.T) {
+	dep, _ := shardedBlast(t, 1)
+	e := New(dep, core.BackendSDB)
+	spec := Q4Spec("blastall", nil, 4)
+	want := specDigest(t, e, spec)
+
+	reshardDone := make(chan error, 1)
+	h := sha256.New()
+	first := true
+	for r, err := range e.Run(spec) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first {
+			first = false
+			go func() {
+				_, err := dep.Reshard(context.Background(), core.Topology{WALShards: 4, DBShards: 4})
+				reshardDone <- err
+			}()
+		}
+		fmt.Fprintf(h, "%s@%d", r.Ref, r.Depth)
+		if r.Bundle != nil {
+			h.Write(prov.EncodeBundles([]prov.Bundle{*r.Bundle}))
+		}
+		h.Write([]byte{'\n'})
+	}
+	if err := <-reshardDone; err != nil {
+		t.Fatalf("concurrent reshard: %v", err)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Error("full reshard racing a pre-window query changed its stream")
+	}
+	if got := specDigest(t, e, spec); got != want {
+		t.Error("post-migration digest diverged")
+	}
+	mis, dup, err := core.AuditFabric(dep)
+	if err != nil || mis != 0 || dup != 0 {
+		t.Fatalf("audit: misplaced=%d duplicates=%d err=%v", mis, dup, err)
 	}
 }

@@ -1,0 +1,181 @@
+package sim
+
+import "sync"
+
+// EpochSet is the shared reshard lifecycle of one K-way shard set — the
+// piece that is identical whether the shards are SimpleDB domains or SQS
+// queues. It owns the placement directory, the count of live shard slots,
+// and the epoch-generation barriers the resharder synchronizes on:
+//
+//   - every write (and, for sets that need it, every read) registers
+//     against the generation of the routing view it captured;
+//   - the resharder bumps the generation at each directory transition and
+//     waits for older generations to drain — writes before trusting a copy
+//     scan (anything not double-written is already on its active-epoch
+//     shard), reads before GC'ing drained ranges (a query that snapshotted
+//     its routing view before the window opened still resolves against the
+//     old homes until it finishes).
+//
+// The concrete sets supply a grow callback that materializes shard slots
+// [len, k); it runs under the set lock, so growth, the live count and every
+// captured view are mutually consistent. Miscellaneous per-set state that
+// must stay consistent with views (sticky ablation flags, per-shard
+// defaults) can be mutated under the same lock via Locked.
+type EpochSet struct {
+	dir *Directory
+
+	mu     sync.Mutex
+	live   int
+	gen    int
+	writes map[int]*sync.WaitGroup
+	reads  map[int]*sync.WaitGroup
+	grow   func(k int)
+}
+
+// EpochView is one coherent routing snapshot: the epoch pair and how many
+// shard slots were live when it was captured.
+type EpochView struct {
+	Active DirEpoch
+	Target *DirEpoch
+	Live   int
+}
+
+// NewEpochSet creates the lifecycle for a k-shard set (k < 1 clamps to 1)
+// and materializes the initial slots through grow.
+func NewEpochSet(k int, grow func(k int)) *EpochSet {
+	if k < 1 {
+		k = 1
+	}
+	s := &EpochSet{
+		dir:    NewDirectory(k),
+		live:   k,
+		writes: make(map[int]*sync.WaitGroup),
+		reads:  make(map[int]*sync.WaitGroup),
+		grow:   grow,
+	}
+	grow(k)
+	return s
+}
+
+// Directory returns the placement directory.
+func (s *EpochSet) Directory() *Directory { return s.dir }
+
+// Live reports the number of live shard slots.
+func (s *EpochSet) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// Locked runs f under the set lock (per-set state that views depend on).
+func (s *EpochSet) Locked(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+// viewLocked captures the current routing snapshot.
+func (s *EpochSet) viewLocked() EpochView {
+	v := EpochView{Active: s.dir.Active(), Live: s.live}
+	if t, ok := s.dir.Target(); ok {
+		v.Target = &t
+	}
+	return v
+}
+
+// View captures a routing snapshot without barrier registration — for
+// callers whose reads need no GC protection (metrics, display).
+func (s *EpochSet) View(snap func(EpochView)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap(s.viewLocked())
+}
+
+// begin registers one operation in reg against the current generation,
+// hands the caller a consistent view via snap (run under the lock), and
+// returns the release the caller must invoke when the operation completes.
+func (s *EpochSet) begin(reg map[int]*sync.WaitGroup, snap func(EpochView)) func() {
+	s.mu.Lock()
+	wg := reg[s.gen]
+	if wg == nil {
+		wg = &sync.WaitGroup{}
+		reg[s.gen] = wg
+	}
+	wg.Add(1)
+	snap(s.viewLocked())
+	s.mu.Unlock()
+	return wg.Done
+}
+
+// BeginWrite registers a write against the current routing view.
+func (s *EpochSet) BeginWrite(snap func(EpochView)) func() { return s.begin(s.writes, snap) }
+
+// BeginRead registers a read against the current routing view.
+func (s *EpochSet) BeginRead(snap func(EpochView)) func() { return s.begin(s.reads, snap) }
+
+// drain waits out every registration in reg from generations before the
+// current one.
+func (s *EpochSet) drain(reg map[int]*sync.WaitGroup) {
+	s.mu.Lock()
+	cur := s.gen
+	var wait []*sync.WaitGroup
+	for g, wg := range reg {
+		if g < cur {
+			wait = append(wait, wg)
+			delete(reg, g)
+		}
+	}
+	s.mu.Unlock()
+	for _, wg := range wait {
+		wg.Wait()
+	}
+}
+
+// DrainPriorWrites blocks until every write that captured a routing view
+// older than the current one has been applied.
+func (s *EpochSet) DrainPriorWrites() { s.drain(s.writes) }
+
+// DrainPriorReads blocks until every read that captured a routing view
+// older than the current one has finished. The resharder's GC calls it
+// before deleting drained ranges; consequently a reshard must never be run
+// synchronously from inside a registered read (it would wait on itself).
+func (s *EpochSet) DrainPriorReads() { s.drain(s.reads) }
+
+// BeginMigration opens (or resumes) an epoch transition to k shards,
+// growing the slots the target epoch needs. done reports the set is
+// already at k with no migration open.
+func (s *EpochSet) BeginMigration(k int) (target DirEpoch, resumed, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target, resumed, done = s.dir.BeginMigration(k)
+	if done {
+		return target, resumed, done
+	}
+	s.grow(target.Shards)
+	s.live = s.dir.LiveShards()
+	if !resumed {
+		s.gen++
+	}
+	return target, resumed, done
+}
+
+// Cutover promotes the target epoch to active. A shrink's decommissioned
+// slots stay live until ShrinkTo retires them drained.
+func (s *EpochSet) Cutover() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dir.Cutover()
+	s.gen++
+}
+
+// ShrinkTo retires shard slots beyond k after a shrink migration's GC. It
+// is a no-op unless the directory is stable at exactly k shards.
+func (s *EpochSet) ShrinkTo(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir.Migrating() || s.dir.Active().Shards != k || k >= s.live {
+		return
+	}
+	s.live = k
+	s.gen++
+}

@@ -10,6 +10,17 @@
 // wall time multiplied by Config.TimeScale) so that concurrency effects are
 // real; unit tests run in manual mode (TimeScale 0) where sleeps advance a
 // logical clock instantly.
+//
+// The package also hosts the fabric's placement substrate (directory.go):
+// an epoch-versioned range Directory over the 32-bit FNV hash space that
+// maps routing keys (object/transaction uuids) to shards. An epoch is one
+// immutable range→shard assignment; a live reshard opens a second (target)
+// epoch, and for the duration of that double-write window writers put each
+// item to the union of its two epoch homes while readers consult the same
+// union — so queries stay byte-identical while a copier streams items
+// between shards. Cutover atomically promotes the target epoch; core
+// persists directory snapshots as an S3 control object so a restarted
+// resharder can prove which epoch the fabric is in.
 package sim
 
 import (
