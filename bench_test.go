@@ -392,6 +392,81 @@ func BenchmarkReshard(b *testing.B) {
 	}
 }
 
+// BenchmarkChaos runs the ≥5k-event commit+reshard+query workload three
+// ways — under a 5% uniform transient-fault plan with the resilient client
+// layer absorbing it, fault-free, and with faults but no resilience (the
+// negative control) — reports goodput and tail fan-out latency, and records
+// the comparison (including the zero-lost audit and the cross-run digest)
+// in BENCH_chaos.json at the repository root.
+func BenchmarkChaos(b *testing.B) {
+	base := bench.ChaosConfig{
+		Seed:          31,
+		Txns:          160,
+		BundlesPerTxn: 32, // 5,120 events
+		Workers:       8,
+		ClientConns:   64,
+		FromK:         2,
+		ToK:           4,
+		Resilient:     true,
+		Queries:       25,
+	}
+	for i := 0; i < b.N; i++ {
+		faultedCfg, cleanCfg, controlCfg := base, base, base
+		faultedCfg.FaultProb, faultedCfg.ApplyProb, faultedCfg.DupProb = 0.05, 0.5, 0.02
+		controlCfg.FaultProb, controlCfg.ApplyProb = 0.15, 0.5
+		controlCfg.Resilient = false
+
+		faulted, err := bench.ChaosCommitQueryReshard(faultedCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean, err := bench.ChaosCommitQueryReshard(cleanCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		control, err := bench.ChaosCommitQueryReshard(controlCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The goodput and p99 acceptance gates live in TestChaosGoodput; the
+		// benchmark only measures and records — but lost, duplicated or
+		// diverged provenance under faults is non-negotiable even here.
+		if faulted.ItemCount != faulted.Events || faulted.Misplaced != 0 || faulted.Duplicates != 0 {
+			b.Fatalf("chaos mangled provenance: items=%d/%d misplaced=%d duplicates=%d",
+				faulted.ItemCount, faulted.Events, faulted.Misplaced, faulted.Duplicates)
+		}
+		if faulted.ProvDigest != clean.ProvDigest {
+			b.Fatalf("provenance diverged under faults: %s vs %s", faulted.ProvDigest, clean.ProvDigest)
+		}
+		b.ReportMetric(faulted.Goodput, "goodput-ev-per-s-faulted")
+		b.ReportMetric(clean.Goodput, "goodput-ev-per-s-clean")
+		b.ReportMetric(faulted.QueryP99Ms, "p99-fanout-ms-faulted")
+		b.ReportMetric(clean.QueryP99Ms, "p99-fanout-ms-clean")
+		b.ReportMetric(float64(faulted.Retries), "retries")
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkChaos",
+			"command":   "go test -run=- -bench=BenchmarkChaos -benchtime=1x",
+			"runs": map[string]bench.ChaosRun{
+				"faulted":          faulted,
+				"clean":            clean,
+				"negative_control": control,
+			},
+			"goodput_ratio":             faulted.Goodput / clean.Goodput,
+			"p99_fanout_ratio":          faulted.QueryP99Ms / clean.QueryP99Ms,
+			"zero_lost_or_duplicated":   faulted.ItemCount == faulted.Events && faulted.Misplaced == 0 && faulted.Duplicates == 0,
+			"provenance_identical":      faulted.ProvDigest == clean.ProvDigest,
+			"control_commits_failed":    control.CommitErrors,
+			"control_demonstrates_need": control.CommitErrors > 0,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_chaos.json", out, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig3Micro runs the protocol microbenchmark (Figure 3).
 func BenchmarkFig3Micro(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -18,6 +18,9 @@
 //	props                probe the Table-1 properties of this protocol
 //	topology             show the fabric topology: epochs, ranges, shard load
 //	reshard <K>          grow/shrink the live fabric to K WAL+domain shards
+//	faults [p|off]       arm a uniform transient-fault plan / show fault and
+//	                     retry counters (injected faults, per-endpoint split,
+//	                     resilient-client retries, hedges, breaker opens)
 //	bill                 show the accumulated cloud bill
 //	help / quit
 //
@@ -36,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -138,6 +142,7 @@ func main() {
 
 	backend := core.BackendOf(proto)
 	eng := query.New(dep, backend)
+	chaosProb := 0.0 // the armed uniform fault probability (0 = disarmed)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("provctl> ")
@@ -158,7 +163,8 @@ func main() {
 		case "help":
 			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
 			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
-			fmt.Println("cache [n|off|stats] | verify <path> | props | topology | reshard <K> | bill | quit")
+			fmt.Println("cache [n|off|stats] | verify <path> | props | topology | reshard <K> |")
+			fmt.Println("faults [p|off] | bill | quit")
 			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
 			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
 		case "ls":
@@ -311,6 +317,43 @@ func main() {
 			fmt.Printf("resharded %dx%d -> %dx%d (epoch %d): copied %d items, GC'd %d, moved %d WAL messages\n",
 				stats.From.WALShards, stats.From.DBShards, stats.To.WALShards, stats.To.DBShards,
 				stats.Epoch, stats.CopiedItems, stats.GCItems, stats.WALMigrated)
+		case "faults":
+			switch arg {
+			case "", "stats":
+				if chaosProb > 0 {
+					fmt.Printf("fault plan: uniform %.1f%% per request (half of mutating faults ambiguous)\n", chaosProb*100)
+				} else {
+					fmt.Println("fault plan: off")
+				}
+				u := env.Meter().Usage()
+				fmt.Printf("faults injected: %d\n", u.Faults)
+				eps := make([]string, 0, len(u.FaultsByEndpoint))
+				for ep := range u.FaultsByEndpoint {
+					eps = append(eps, ep)
+				}
+				sort.Strings(eps)
+				for _, ep := range eps {
+					fmt.Printf("  %-10s %d\n", ep, u.FaultsByEndpoint[ep])
+				}
+				if dep.Res != nil {
+					fmt.Println("resilience:", dep.Res.Stats())
+				} else {
+					fmt.Println("resilience: disabled")
+				}
+			case "off":
+				env.InstallFaults(nil)
+				chaosProb = 0
+				fmt.Println("fault plan disarmed (forced faults, if any, stay armed)")
+			default:
+				p, err := strconv.ParseFloat(arg, 64)
+				if err != nil || p < 0 || p > 1 {
+					fmt.Println("usage: faults [<prob 0..1>|off|stats]")
+					continue
+				}
+				env.InstallFaults(sim.UniformPlan(p, 0.5))
+				chaosProb = p
+				fmt.Printf("armed: every request faults with probability %.1f%%; the resilient client retries\n", p*100)
+			}
 		case "bill":
 			u := env.Meter().Usage()
 			fmt.Printf("$%.4f  (%s)\n", u.Cost(0), u)

@@ -5,7 +5,13 @@
 // service-side request-rate gate — while every read (here, the routed
 // ReadProvenance) returns byte-identical results on both topologies.
 //
-//	go run ./examples/sharded-fabric -shards 4 -workers 8 -txns 120
+// With -faults the same comparison runs under chaos: every service request
+// faults with the given probability (half the mutating faults ambiguous —
+// applied but reported failed) and the resilient client layer absorbs it
+// all with backoff, retry budgets and idempotent retries; the digests must
+// still match, fault-free, byte for byte.
+//
+//	go run ./examples/sharded-fabric -shards 4 -workers 8 -txns 120 -faults 0.05
 package main
 
 import (
@@ -30,10 +36,11 @@ func main() {
 	shards := flag.Int("shards", 4, "WAL queue and SimpleDB domain shards (clamped to [1,64])")
 	workers := flag.Int("workers", 8, "commit-daemon pool size")
 	txns := flag.Int("txns", 120, "transactions to commit")
+	faults := flag.Float64("faults", 0, "per-request transient-fault probability (0..1; 0 = calm run)")
 	flag.Parse()
 
-	base, baseDigest := run(1, *workers, *txns)
-	shardedDep, shardedDigest := run(*shards, *workers, *txns)
+	base, baseDigest := run(1, *workers, *txns, *faults)
+	shardedDep, shardedDigest := run(*shards, *workers, *txns, *faults)
 	// The deployment clamps out-of-range shard counts; report what ran.
 	k := shardedDep.Topo.WALShards
 
@@ -58,12 +65,20 @@ func main() {
 	for _, n := range names {
 		fmt.Printf("  %-8s %5d requests\n", n, spread[n])
 	}
+
+	if *faults > 0 {
+		u := shardedDep.Env.Meter().Usage()
+		st := shardedDep.Res.Stats().Totals()
+		fmt.Printf("\nchaos on the K=%d fabric: %d faults injected, %d retries, %d hedges, %d breaker opens — zero surfaced\n",
+			k, u.Faults, st.Retries, st.Hedges, st.BreakerOpens)
+	}
 }
 
 // run commits txns small transactions through P3 on a K×K fabric, settles,
 // and returns the deployment plus a digest of every object's read-back
-// provenance.
-func run(k, workers, txns int) (*core.Deployment, string) {
+// provenance. faultProb > 0 arms a uniform transient-fault plan for the
+// whole run — commit, settle and read-back all retry through it.
+func run(k, workers, txns int, faultProb float64) (*core.Deployment, string) {
 	cfg := sim.DefaultConfig()
 	// Live mode so the worker pool genuinely overlaps; a moderate scale
 	// keeps the modelled service latency (not host compute) dominant in
@@ -71,6 +86,9 @@ func run(k, workers, txns int) (*core.Deployment, string) {
 	cfg.TimeScale = 200
 	cfg.Consistency = sim.Strict
 	env := sim.NewEnv(cfg)
+	if faultProb > 0 {
+		env.InstallFaults(sim.UniformPlan(faultProb, 0.5))
+	}
 	dep := core.NewShardedDeployment(env, core.Topology{WALShards: k, DBShards: k})
 	p3 := core.NewP3(dep, core.Options{CommitWorkers: workers})
 

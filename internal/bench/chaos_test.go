@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// chaosPair returns the small equivalence configuration and its fault-free
+// twin: identical workload, topology and hedge policy — only the fault plan
+// differs.
+func chaosPair() (faulted, clean ChaosConfig) {
+	base := ChaosConfig{
+		Seed:          21,
+		Txns:          18,
+		BundlesPerTxn: 12,
+		Workers:       4,
+		ClientConns:   32,
+		Scale:         800,
+		FromK:         2,
+		ToK:           4,
+		Resilient:     true,
+		Queries:       25,
+		HedgeAfter:    200 * time.Millisecond,
+	}
+	faulted, clean = base, base
+	faulted.FaultProb = 0.05
+	faulted.ApplyProb = 0.5
+	faulted.DupProb = 0.02
+	return faulted, clean
+}
+
+// TestChaosEquivalence is the always-on tentpole gate: under a 5% uniform
+// fault plan (half the mutating faults ambiguous) with duplicate queue
+// delivery, the commit+reshard+query workload must lose and duplicate
+// nothing, read back byte-identical to its fault-free twin, and keep the
+// scatter-gather p99 fan-out latency within 2x of fault-free.
+func TestChaosEquivalence(t *testing.T) {
+	faultedCfg, cleanCfg := chaosPair()
+	faulted, err := ChaosCommitQueryReshard(faultedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ChaosCommitQueryReshard(cleanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("faulted: faults=%d retries=%d hedges=%d p99=%.1fms goodput=%.1f ev/s",
+		faulted.Faults, faulted.Retries, faulted.Hedges, faulted.QueryP99Ms, faulted.Goodput)
+	t.Logf("clean:   p99=%.1fms goodput=%.1f ev/s", clean.QueryP99Ms, clean.Goodput)
+
+	// The chaos machinery genuinely ran.
+	if faulted.Faults == 0 {
+		t.Fatal("fault plan armed but nothing injected")
+	}
+	if faulted.Retries == 0 {
+		t.Fatal("faults injected but the resilient layer retried nothing")
+	}
+	if clean.Faults != 0 {
+		t.Fatalf("fault-free twin saw %d faults", clean.Faults)
+	}
+
+	// Zero lost, zero duplicated, byte-identical to the fault-free twin.
+	if faulted.ItemCount != faulted.Events {
+		t.Fatalf("items = %d, want exactly %d (lost or duplicated)", faulted.ItemCount, faulted.Events)
+	}
+	if faulted.Misplaced != 0 || faulted.Duplicates != 0 {
+		t.Fatalf("audit: misplaced=%d duplicates=%d", faulted.Misplaced, faulted.Duplicates)
+	}
+	if faulted.ProvDigest == "" || faulted.ProvDigest != clean.ProvDigest {
+		t.Fatalf("faulted digest %s differs from fault-free %s", faulted.ProvDigest, clean.ProvDigest)
+	}
+
+	// The hedged read path keeps the fan-out tail in the fault-free regime.
+	if faulted.QueryP99Ms > 2*clean.QueryP99Ms {
+		t.Errorf("p99 fan-out %.1fms under faults vs %.1fms clean — > 2x", faulted.QueryP99Ms, clean.QueryP99Ms)
+	}
+}
+
+// TestChaosNegativeControl pins that the faults are real: the same workload
+// with the resilience layer removed visibly fails — raw transient errors
+// surface to the committing clients.
+func TestChaosNegativeControl(t *testing.T) {
+	cfg, _ := chaosPair()
+	cfg.Resilient = false
+	cfg.FaultProb = 0.15
+	run, err := ChaosCommitQueryReshard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Faults == 0 {
+		t.Fatal("negative control saw no faults")
+	}
+	if run.CommitErrors == 0 {
+		t.Fatalf("no commit failed with resilience disabled under %d faults — the fault plan is toothless", run.Faults)
+	}
+	t.Logf("negative control: %d/%d commits failed (first: %s)", run.CommitErrors, run.Txns, run.FirstError)
+}
+
+// TestChaosGoodput is the large-N acceptance gate: on a ≥5k-event workload
+// the faulted fabric's goodput must stay within 2x of the fault-free twin
+// (the retries and backoffs cost sim time, but they must not collapse
+// throughput), with the same zero-loss and byte-identity requirements.
+func TestChaosGoodput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N benchmark")
+	}
+	faultedCfg, cleanCfg := chaosPair()
+	for _, c := range []*ChaosConfig{&faultedCfg, &cleanCfg} {
+		c.Seed = 31
+		c.Txns = 160
+		c.BundlesPerTxn = 32 // 5,120 events
+		c.Workers = 8
+		c.ClientConns = 64
+		c.Scale = 0 // ChaosBenchScale
+	}
+	faulted, err := ChaosCommitQueryReshard(faultedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ChaosCommitQueryReshard(cleanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("faulted: faults=%d retries=%d hedges=%d breaker=%d goodput=%.1f ev/s p99=%.1fms ops=%d $%.4f",
+		faulted.Faults, faulted.Retries, faulted.Hedges, faulted.BreakerOpens,
+		faulted.Goodput, faulted.QueryP99Ms, faulted.TotalOps, faulted.CostUSD)
+	t.Logf("clean:   goodput=%.1f ev/s p99=%.1fms ops=%d $%.4f",
+		clean.Goodput, clean.QueryP99Ms, clean.TotalOps, clean.CostUSD)
+
+	if faulted.Events < 5000 {
+		t.Fatalf("only %d events, want >= 5000", faulted.Events)
+	}
+	if faulted.ItemCount != faulted.Events {
+		t.Fatalf("items = %d, want exactly %d", faulted.ItemCount, faulted.Events)
+	}
+	if faulted.Misplaced != 0 || faulted.Duplicates != 0 {
+		t.Fatalf("audit: misplaced=%d duplicates=%d", faulted.Misplaced, faulted.Duplicates)
+	}
+	if faulted.ProvDigest == "" || faulted.ProvDigest != clean.ProvDigest {
+		t.Fatalf("faulted digest %s differs from fault-free %s", faulted.ProvDigest, clean.ProvDigest)
+	}
+	if faulted.Faults == 0 || faulted.Retries == 0 {
+		t.Fatalf("chaos did not engage: faults=%d retries=%d", faulted.Faults, faulted.Retries)
+	}
+	if faulted.Goodput < clean.Goodput/2 {
+		t.Errorf("goodput %.1f ev/s under faults vs %.1f clean — collapsed past 2x", faulted.Goodput, clean.Goodput)
+	}
+	if faulted.QueryP99Ms > 2*clean.QueryP99Ms {
+		t.Errorf("p99 fan-out %.1fms under faults vs %.1fms clean — > 2x", faulted.QueryP99Ms, clean.QueryP99Ms)
+	}
+}

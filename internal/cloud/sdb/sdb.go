@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"passcloud/internal/resilient"
 	"passcloud/internal/sim"
 )
 
@@ -88,12 +89,14 @@ type Domain struct {
 	name string
 	lane int // rate-gate lane: each domain is its own service partition
 
+	resMu sync.Mutex
+	res   *resilient.Client // nil: no client-side retries
+
 	mu        sync.Mutex
 	items     map[string][]*itemVersion
 	sorted    []string              // cached sorted item names; nil when stale
 	idx       map[string]*attrIndex // per-attribute secondary indexes
 	forceScan bool                  // ablation: disable the indexes
-	selectErr error                 // fault injection: fail every SELECT
 	gen       uint64                // write generation; invalidates cached plans
 	lastPlan  planCache             // resolved candidates of the latest query
 
@@ -138,14 +141,35 @@ func (d *Domain) SetForceScan(v bool) {
 	d.mu.Unlock()
 }
 
-// SetSelectError makes every subsequent SELECT against this domain fail
-// with err (nil clears the fault) — fault injection for tests that verify
-// readers propagate a mid-scatter shard failure instead of hanging or
-// returning partial results.
-func (d *Domain) SetSelectError(err error) {
-	d.mu.Lock()
-	d.selectErr = err
-	d.mu.Unlock()
+// SetResilience installs (nil: removes) the client-side retry layer every
+// request routes through; see package resilient.
+func (d *Domain) SetResilience(c *resilient.Client) {
+	d.resMu.Lock()
+	d.res = c
+	d.resMu.Unlock()
+}
+
+// retry routes one request attempt through the resilient client, if any.
+func (d *Domain) retry(op func() error) error {
+	d.resMu.Lock()
+	c := d.res
+	d.resMu.Unlock()
+	if c != nil {
+		return c.Do(d.name, op)
+	}
+	return op()
+}
+
+// faulted consults the fault injector for one request of kind against this
+// domain; a clean rejection (not applied) still charges a failed round-trip
+// on the domain's gate lane, exactly as a real 503 costs a request.
+func (d *Domain) faulted(op sim.OpKind, kind string, mutating bool) (error, bool) {
+	ferr, applied := d.env.FaultPoint(d.name, kind, mutating)
+	if ferr != nil && !applied {
+		d.env.ExecLane(op, 0, d.lane)
+		d.count(kind, 0)
+	}
+	return ferr, applied
 }
 
 // sortedNamesLocked returns (building if needed) the sorted name index.
@@ -181,13 +205,24 @@ func (d *Domain) PutAttributes(req PutRequest) error {
 	if err := validate(req.Attrs); err != nil {
 		return err
 	}
+	return d.retry(func() error { return d.putOnce(req) })
+}
+
+// putOnce is one service attempt of a put. An ambiguous fault (applied)
+// commits the write and still reports the error; the protocols' puts are
+// full replaces of immutable content, so a retried apply converges.
+func (d *Domain) putOnce(req PutRequest) error {
+	ferr, applied := d.faulted(sim.OpSDBPut, "sdb.PutAttributes", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	payload := Item{Name: req.Item, Attrs: req.Attrs}.size()
 	d.env.ExecLane(sim.OpSDBPut, payload, d.lane)
 	d.count("sdb.PutAttributes", int64(payload))
 	d.mu.Lock()
 	d.applyLocked(req)
 	d.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // BatchPutAttributes writes up to 25 items in one call. The call is charged
@@ -204,6 +239,16 @@ func (d *Domain) BatchPutAttributes(reqs []PutRequest) error {
 		}
 		payload += Item{Name: r.Item, Attrs: r.Attrs}.size()
 	}
+	return d.retry(func() error { return d.batchPutOnce(reqs, payload) })
+}
+
+// batchPutOnce is one service attempt of a batch put (see putOnce for the
+// ambiguous-fault contract).
+func (d *Domain) batchPutOnce(reqs []PutRequest, payload int) error {
+	ferr, applied := d.faulted(sim.OpSDBBatchPut, "sdb.BatchPutAttributes", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	d.env.ExecLane(sim.OpSDBBatchPut, payload, d.lane)
 	if extra := d.env.Model().BatchItemLatency(len(reqs)); extra > 0 {
 		d.env.Clock().Sleep(extra)
@@ -214,7 +259,7 @@ func (d *Domain) BatchPutAttributes(reqs []PutRequest) error {
 		d.applyLocked(r)
 	}
 	d.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // applyLocked commits one put as a new item version.
@@ -286,6 +331,19 @@ func (d *Domain) observe(name string, now time.Duration) *itemVersion {
 
 // GetAttributes returns the attributes of one item.
 func (d *Domain) GetAttributes(item string) (Item, error) {
+	var it Item
+	err := d.retry(func() error {
+		var err error
+		it, err = d.getOnce(item)
+		return err
+	})
+	return it, err
+}
+
+func (d *Domain) getOnce(item string) (Item, error) {
+	if ferr, _ := d.faulted(sim.OpSDBGet, "sdb.GetAttributes", false); ferr != nil {
+		return Item{}, ferr
+	}
 	d.mu.Lock()
 	v := d.observe(item, d.env.Now())
 	var it Item
@@ -308,6 +366,14 @@ func (d *Domain) GetAttributes(item string) (Item, error) {
 
 // DeleteAttributes removes an entire item (the only form the protocols use).
 func (d *Domain) DeleteAttributes(item string) error {
+	return d.retry(func() error { return d.deleteOnce(item) })
+}
+
+func (d *Domain) deleteOnce(item string) error {
+	ferr, applied := d.faulted(sim.OpSDBDelete, "sdb.DeleteAttributes", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	d.env.ExecLane(sim.OpSDBDelete, 0, d.lane)
 	d.count("sdb.DeleteAttributes", 0)
 	now := d.env.Now()
@@ -324,7 +390,7 @@ func (d *Domain) DeleteAttributes(item string) error {
 		d.items[item] = append(hist, &itemVersion{deleted: true, committed: now, visibleAt: now + d.env.StalenessWindow()})
 	}
 	d.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // SelectPage is one page of SELECT results.
@@ -395,11 +461,19 @@ func (d *Domain) selectPage(q *Query, nextToken string) (SelectPage, error) {
 	if q.Domain != d.name {
 		return SelectPage{}, fmt.Errorf("sdb: unknown domain %q in select", q.Domain)
 	}
-	d.mu.Lock()
-	failErr := d.selectErr
-	d.mu.Unlock()
-	if failErr != nil {
-		return SelectPage{}, failErr
+	var page SelectPage
+	err := d.retry(func() error {
+		var err error
+		page, err = d.selectPageOnce(q, nextToken)
+		return err
+	})
+	return page, err
+}
+
+// selectPageOnce is one service attempt of a SELECT page.
+func (d *Domain) selectPageOnce(q *Query, nextToken string) (SelectPage, error) {
+	if ferr, _ := d.faulted(sim.OpSDBSelect, "sdb.Select", false); ferr != nil {
+		return SelectPage{}, ferr
 	}
 	now := d.env.Now()
 

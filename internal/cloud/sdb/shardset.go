@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"passcloud/internal/par"
+	"passcloud/internal/resilient"
 	"passcloud/internal/sim"
 )
 
@@ -50,9 +51,10 @@ type DomainSet struct {
 	ep   *sim.EpochSet
 
 	// Guarded by ep's lock (mutated via ep.Locked / the grow callback).
-	shards    []*Domain // index == shard id; may exceed the live count mid-shrink
-	bareZero  bool      // shard 0 kept the bare base name (created at K == 1)
-	forceScan bool      // sticky ablation flag, applied to grown shards too
+	shards    []*Domain         // index == shard id; may exceed the live count mid-shrink
+	bareZero  bool              // shard 0 kept the bare base name (created at K == 1)
+	forceScan bool              // sticky ablation flag, applied to grown shards too
+	res       *resilient.Client // sticky retry layer, installed on grown shards too
 }
 
 // NewSet creates a K-way domain set. k < 1 is clamped to 1; k == 1 yields a
@@ -82,6 +84,7 @@ func (s *DomainSet) growLocked(k int) {
 		if s.forceScan {
 			d.SetForceScan(true)
 		}
+		d.SetResilience(s.res)
 		s.shards = append(s.shards, d)
 	}
 }
@@ -126,6 +129,28 @@ func (s *DomainSet) ShardForItem(item string) int { return s.Directory().Route(R
 // ShardForKey routes a raw routing key (an object uuid) to its active-epoch
 // home shard.
 func (s *DomainSet) ShardForKey(key string) int { return s.Directory().Route(key) }
+
+// SetResilience installs (nil: removes) the client-side retry layer on
+// every shard, present and future — the reference is sticky across growth,
+// so domains a reshard creates mid-flight retry like their peers. The set
+// itself uses it to hedge straggler shards on scatter-gather reads.
+func (s *DomainSet) SetResilience(c *resilient.Client) {
+	var shards []*Domain
+	s.ep.Locked(func() {
+		s.res = c
+		shards = append(shards, s.shards...)
+	})
+	for _, d := range shards {
+		d.SetResilience(c)
+	}
+}
+
+// resilience returns the sticky retry layer, or nil.
+func (s *DomainSet) resilience() *resilient.Client {
+	var c *resilient.Client
+	s.ep.Locked(func() { c = s.res })
+	return c
+}
 
 // SetForceScan toggles the index-disabling ablation on every shard (present
 // and future — the flag is sticky across growth).
@@ -313,6 +338,7 @@ func (v *DomainView) SelectAllQuery(q Query) (items []Item, requests int, bytes 
 		err   error
 	}
 	results := make([]result, len(v.shards))
+	res := v.set.resilience()
 	var wg sync.WaitGroup
 	for i := range v.shards {
 		sq, err := v.rebase(q, i)
@@ -323,8 +349,17 @@ func (v *DomainView) SelectAllQuery(q Query) (items []Item, requests int, bytes 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r := &results[i]
-			r.items, r.reqs, r.bytes, r.err = v.shards[i].SelectAllQuery(sq)
+			// Each per-shard drain is hedged: if one shard straggles (a
+			// fault-backed-off page, a slow replica) past the hedge delay, a
+			// duplicate drain races it and the first result wins. Drains are
+			// idempotent reads, so the loser is discarded harmlessly.
+			r, err := resilient.Hedged(res, v.shards[i].Name(), func() (result, error) {
+				var r result
+				r.items, r.reqs, r.bytes, r.err = v.shards[i].SelectAllQuery(sq)
+				return r, r.err
+			})
+			r.err = err
+			results[i] = r
 		}()
 	}
 	wg.Wait()

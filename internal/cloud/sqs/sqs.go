@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"passcloud/internal/resilient"
 	"passcloud/internal/sim"
 )
 
@@ -75,9 +76,19 @@ type Queue struct {
 	visibility time.Duration
 	retention  time.Duration
 
-	mu   sync.Mutex
-	msgs []*message
-	seq  int
+	resMu sync.Mutex
+	res   *resilient.Client // nil: no client-side retries
+
+	mu      sync.Mutex
+	msgs    []*message
+	seq     int
+	autoSeq int // distinguishes auto-generated idempotency tokens
+	// dedup maps idempotency tokens of applied sends to the message ids they
+	// enqueued, so a retried send (after an ambiguous fault) returns the
+	// original ids instead of enqueueing twice. Entries age out with the
+	// retention period.
+	dedup   map[string][]string
+	dedupAt map[string]time.Duration
 }
 
 // New creates an empty queue with default visibility and retention.
@@ -106,6 +117,48 @@ func (q *Queue) Name() string { return q.name }
 // Env returns the environment the queue charges against.
 func (q *Queue) Env() *sim.Env { return q.env }
 
+// SetResilience installs (nil: removes) the client-side retry layer every
+// request routes through; see package resilient.
+func (q *Queue) SetResilience(c *resilient.Client) {
+	q.resMu.Lock()
+	q.res = c
+	q.resMu.Unlock()
+}
+
+// retry routes one request attempt through the resilient client, if any.
+func (q *Queue) retry(op func() error) error {
+	q.resMu.Lock()
+	c := q.res
+	q.resMu.Unlock()
+	if c != nil {
+		return c.Do(q.name, op)
+	}
+	return op()
+}
+
+// faulted consults the fault injector for one request of kind against this
+// queue; a clean rejection (not applied) still charges a failed round-trip
+// on the queue's gate lane, exactly as a real 503 costs a request.
+func (q *Queue) faulted(op sim.OpKind, kind string, mutating bool) (error, bool) {
+	ferr, applied := q.env.FaultPoint(q.name, kind, mutating)
+	if ferr != nil && !applied {
+		q.env.ExecLane(op, 0, q.lane)
+		q.count(kind, 0)
+	}
+	return ferr, applied
+}
+
+// autoToken mints a per-call idempotency token for sends whose caller did
+// not supply one, so the internal retry of an ambiguous fault still
+// deduplicates exactly-once.
+func (q *Queue) autoToken() string {
+	q.mu.Lock()
+	q.autoSeq++
+	n := q.autoSeq
+	q.mu.Unlock()
+	return fmt.Sprintf("auto/%s/%d", q.name, n)
+}
+
 // SetVisibility overrides the visibility timeout (tests and ablations).
 func (q *Queue) SetVisibility(d time.Duration) { q.visibility = d }
 
@@ -114,13 +167,41 @@ func (q *Queue) SetRetention(d time.Duration) { q.retention = d }
 
 // SendMessage enqueues body and returns the message id.
 func (q *Queue) SendMessage(body []byte) (string, error) {
+	return q.SendMessageIdem(body, q.autoToken())
+}
+
+// SendMessageIdem is SendMessage with an explicit idempotency token: a
+// retried send carrying a token the queue has already applied returns the
+// original message id without enqueueing again (P3 uses "txn-uuid/seq"
+// tokens so WAL resends after ambiguous faults stay exactly-once).
+func (q *Queue) SendMessageIdem(body []byte, token string) (string, error) {
 	if len(body) > MaxMessageSize {
 		return "", fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, len(body))
+	}
+	var id string
+	err := q.retry(func() error {
+		var err error
+		id, err = q.sendOnce(body, token)
+		return err
+	})
+	return id, err
+}
+
+// sendOnce is one service attempt of a send. An ambiguous fault (applied)
+// enqueues the message, records the token, and still reports the error.
+func (q *Queue) sendOnce(body []byte, token string) (string, error) {
+	ferr, applied := q.faulted(sim.OpSQSSend, "sqs.SendMessage", true)
+	if ferr != nil && !applied {
+		return "", ferr
 	}
 	q.env.ExecLane(sim.OpSQSSend, len(body), q.lane)
 	q.count("sqs.SendMessage", int64(len(body)))
 	now := q.env.Now()
 	q.mu.Lock()
+	if ids, ok := q.dedupLocked(token); ok {
+		q.mu.Unlock()
+		return ids[0], ferr
+	}
 	q.seq++
 	id := fmt.Sprintf("%s-%08d", q.name, q.seq)
 	m := &message{
@@ -136,8 +217,31 @@ func (q *Queue) SendMessage(body []byte) (string, error) {
 		dup := *m
 		q.msgs = append(q.msgs, &dup)
 	}
+	q.rememberLocked(token, []string{id}, now)
 	q.mu.Unlock()
-	return id, nil
+	return id, ferr
+}
+
+// dedupLocked reports the ids a token already enqueued, if any.
+func (q *Queue) dedupLocked(token string) ([]string, bool) {
+	if token == "" || q.dedup == nil {
+		return nil, false
+	}
+	ids, ok := q.dedup[token]
+	return ids, ok
+}
+
+// rememberLocked records an applied token so retries deduplicate.
+func (q *Queue) rememberLocked(token string, ids []string, now time.Duration) {
+	if token == "" {
+		return
+	}
+	if q.dedup == nil {
+		q.dedup = make(map[string][]string)
+		q.dedupAt = make(map[string]time.Duration)
+	}
+	q.dedup[token] = ids
+	q.dedupAt[token] = now
 }
 
 // SendMessageBatch enqueues up to MaxBatchEntries bodies in one service
@@ -145,6 +249,12 @@ func (q *Queue) SendMessage(body []byte) (string, error) {
 // 8 KB message limit individually; the call fails atomically (nothing is
 // enqueued) if any entry is oversized or the batch has too many entries.
 func (q *Queue) SendMessageBatch(bodies [][]byte) ([]string, error) {
+	return q.SendMessageBatchIdem(bodies, q.autoToken())
+}
+
+// SendMessageBatchIdem is SendMessageBatch with an explicit idempotency
+// token covering the whole batch (see SendMessageIdem).
+func (q *Queue) SendMessageBatchIdem(bodies [][]byte, token string) ([]string, error) {
 	if len(bodies) > MaxBatchEntries {
 		return nil, fmt.Errorf("%w (%d entries)", ErrBatchTooLarge, len(bodies))
 	}
@@ -158,14 +268,33 @@ func (q *Queue) SendMessageBatch(bodies [][]byte) ([]string, error) {
 	if len(bodies) == 0 {
 		return nil, nil
 	}
+	var ids []string
+	err := q.retry(func() error {
+		var err error
+		ids, err = q.sendBatchOnce(bodies, token, payload)
+		return err
+	})
+	return ids, err
+}
+
+// sendBatchOnce is one service attempt of a batch send (see sendOnce).
+func (q *Queue) sendBatchOnce(bodies [][]byte, token string, payload int) ([]string, error) {
+	ferr, applied := q.faulted(sim.OpSQSSendBatch, "sqs.SendMessageBatch", true)
+	if ferr != nil && !applied {
+		return nil, ferr
+	}
 	q.env.ExecLane(sim.OpSQSSendBatch, payload, q.lane)
 	if extra := q.env.Model().SQSBatchEntryLatency(len(bodies)); extra > 0 {
 		q.env.Clock().Sleep(extra)
 	}
 	q.count("sqs.SendMessageBatch", int64(payload))
 	now := q.env.Now()
-	ids := make([]string, 0, len(bodies))
 	q.mu.Lock()
+	if ids, ok := q.dedupLocked(token); ok {
+		q.mu.Unlock()
+		return ids, ferr
+	}
+	ids := make([]string, 0, len(bodies))
 	for _, body := range bodies {
 		q.seq++
 		id := fmt.Sprintf("%s-%08d", q.name, q.seq)
@@ -184,8 +313,9 @@ func (q *Queue) SendMessageBatch(bodies [][]byte) ([]string, error) {
 		}
 		ids = append(ids, id)
 	}
+	q.rememberLocked(token, ids, now)
 	q.mu.Unlock()
-	return ids, nil
+	return ids, ferr
 }
 
 // ReceiveMessage returns up to max (at most 10) visible messages, making
@@ -197,6 +327,15 @@ func (q *Queue) ReceiveMessage(max int) []Message {
 	}
 	if max > 10 {
 		max = 10
+	}
+	if ferr, _ := q.env.FaultPoint(q.name, "sqs.ReceiveMessage", false); ferr != nil {
+		// A throttled poll surfaces as an empty page: ReceiveMessage's
+		// contract is already "nothing visible, poll again", which is
+		// exactly how callers must treat a transient receive failure. The
+		// failed round-trip still costs a request.
+		q.env.ExecLane(sim.OpSQSReceive, 0, q.lane)
+		q.count("sqs.ReceiveMessage", 0)
+		return nil
 	}
 	now := q.env.Now()
 	q.mu.Lock()
@@ -234,6 +373,14 @@ func (q *Queue) ReceiveMessage(max int) []Message {
 // DeleteMessage removes the message named by a receipt handle. Deleting an
 // already-deleted message succeeds, as on SQS.
 func (q *Queue) DeleteMessage(receipt string) error {
+	return q.retry(func() error { return q.deleteOnce(receipt) })
+}
+
+func (q *Queue) deleteOnce(receipt string) error {
+	ferr, applied := q.faulted(sim.OpSQSDelete, "sqs.DeleteMessage", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	q.env.ExecLane(sim.OpSQSDelete, 0, q.lane)
 	q.count("sqs.DeleteMessage", 0)
 	id := receipt
@@ -247,7 +394,7 @@ func (q *Queue) DeleteMessage(receipt string) error {
 		}
 	}
 	q.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // DeleteMessageBatch removes up to MaxBatchEntries messages named by receipt
@@ -259,6 +406,14 @@ func (q *Queue) DeleteMessageBatch(receipts []string) error {
 	}
 	if len(receipts) == 0 {
 		return nil
+	}
+	return q.retry(func() error { return q.deleteBatchOnce(receipts) })
+}
+
+func (q *Queue) deleteBatchOnce(receipts []string) error {
+	ferr, applied := q.faulted(sim.OpSQSDeleteBatch, "sqs.DeleteMessageBatch", true)
+	if ferr != nil && !applied {
+		return ferr
 	}
 	q.env.ExecLane(sim.OpSQSDeleteBatch, 0, q.lane)
 	if extra := q.env.Model().SQSBatchEntryLatency(len(receipts)); extra > 0 {
@@ -278,12 +433,18 @@ func (q *Queue) DeleteMessageBatch(receipts []string) error {
 		}
 	}
 	q.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // expireLocked drops messages past the retention period; SQS performs this
 // automatically, and P3 relies on it to garbage collect the WAL.
 func (q *Queue) expireLocked(now time.Duration) {
+	for token, at := range q.dedupAt {
+		if now-at > q.retention {
+			delete(q.dedupAt, token)
+			delete(q.dedup, token)
+		}
+	}
 	kept := q.msgs[:0]
 	for _, m := range q.msgs {
 		if m.deleted || now-m.sentAt > q.retention {

@@ -22,12 +22,17 @@ import (
 	"sync"
 	"time"
 
+	"passcloud/internal/resilient"
 	"passcloud/internal/sim"
 )
 
 // ErrNoSuchKey is returned by reads of keys that do not exist (or that a
 // stale replica has not yet heard of).
 var ErrNoSuchKey = errors.New("store: no such key")
+
+// Endpoint is the store's fault-injection and retry endpoint name (one
+// bucket, one service partition).
+const Endpoint = "s3"
 
 // Metadata is the user metadata stored with an object. Values are small
 // strings, mirroring S3's x-amz-meta headers.
@@ -72,6 +77,9 @@ type version struct {
 type Store struct {
 	env *sim.Env
 
+	resMu sync.Mutex
+	res   *resilient.Client // nil: no client-side retries
+
 	mu   sync.Mutex
 	keys map[string][]*version // committed history, oldest first
 }
@@ -83,6 +91,37 @@ func New(env *sim.Env) *Store {
 
 // Env returns the environment the store charges against.
 func (s *Store) Env() *sim.Env { return s.env }
+
+// SetResilience installs (nil: removes) the client-side retry layer every
+// request routes through; see package resilient.
+func (s *Store) SetResilience(c *resilient.Client) {
+	s.resMu.Lock()
+	s.res = c
+	s.resMu.Unlock()
+}
+
+// retry routes one request attempt through the resilient client, if any.
+func (s *Store) retry(op func() error) error {
+	s.resMu.Lock()
+	c := s.res
+	s.resMu.Unlock()
+	if c != nil {
+		return c.Do(Endpoint, op)
+	}
+	return op()
+}
+
+// faulted consults the fault injector for one request of kind; a clean
+// rejection (not applied) still charges a failed round-trip against the
+// service, exactly as a real 503 costs a request.
+func (s *Store) faulted(op sim.OpKind, kind string, mutating bool) (error, bool) {
+	ferr, applied := s.env.FaultPoint(Endpoint, kind, mutating)
+	if ferr != nil && !applied {
+		s.env.Exec(op, 0)
+		s.env.Meter().CountOp(kind, 0)
+	}
+	return ferr, applied
+}
 
 // Put atomically stores data and metadata under key, overwriting any
 // previous version (last writer wins).
@@ -102,6 +141,17 @@ func (s *Store) put(key string, data []byte, size int64, meta Metadata) error {
 	if key == "" {
 		return errors.New("store: empty key")
 	}
+	return s.retry(func() error { return s.putOnce(key, data, size, meta) })
+}
+
+// putOnce is one service attempt of a PUT. An ambiguous fault (applied)
+// commits the write and still reports the error — retried PUTs replace the
+// same content, so convergence is free.
+func (s *Store) putOnce(key string, data []byte, size int64, meta Metadata) error {
+	ferr, applied := s.faulted(sim.OpS3Put, "s3.PUT", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	s.env.Exec(sim.OpS3Put, int(size))
 	s.env.Meter().CountOp("s3.PUT", size)
 	now := s.env.Now()
@@ -115,7 +165,7 @@ func (s *Store) put(key string, data []byte, size int64, meta Metadata) error {
 	s.mu.Lock()
 	s.commitLocked(key, v)
 	s.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // commitLocked appends v to key's history and trims history that can no
@@ -163,6 +213,19 @@ func (s *Store) observe(key string, now time.Duration) *version {
 
 // Get retrieves the object stored under key.
 func (s *Store) Get(key string) (Object, error) {
+	var o Object
+	err := s.retry(func() error {
+		var err error
+		o, err = s.getOnce(key)
+		return err
+	})
+	return o, err
+}
+
+func (s *Store) getOnce(key string) (Object, error) {
+	if ferr, _ := s.faulted(sim.OpS3Get, "s3.GET", false); ferr != nil {
+		return Object{}, ferr
+	}
 	s.mu.Lock()
 	v := s.observe(key, s.env.Now())
 	var o Object
@@ -187,6 +250,19 @@ func (s *Store) Get(key string) (Object, error) {
 
 // Head retrieves only the metadata (and existence) of key.
 func (s *Store) Head(key string) (Metadata, error) {
+	var m Metadata
+	err := s.retry(func() error {
+		var err error
+		m, err = s.headOnce(key)
+		return err
+	})
+	return m, err
+}
+
+func (s *Store) headOnce(key string) (Metadata, error) {
+	if ferr, _ := s.faulted(sim.OpS3Head, "s3.HEAD", false); ferr != nil {
+		return nil, ferr
+	}
 	s.env.Exec(sim.OpS3Head, 0)
 	s.env.Meter().CountOp("s3.HEAD", 0)
 	s.mu.Lock()
@@ -202,6 +278,14 @@ func (s *Store) Head(key string) (Metadata, error) {
 // The destination receives the source's data; metadata is replaced by meta
 // if non-nil (S3's REPLACE directive), else copied.
 func (s *Store) Copy(src, dst string, meta Metadata) error {
+	return s.retry(func() error { return s.copyOnce(src, dst, meta) })
+}
+
+func (s *Store) copyOnce(src, dst string, meta Metadata) error {
+	ferr, applied := s.faulted(sim.OpS3Copy, "s3.COPY", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	s.env.Exec(sim.OpS3Copy, 0)
 	s.env.Meter().CountOp("s3.COPY", 0)
 	s.mu.Lock()
@@ -226,11 +310,19 @@ func (s *Store) Copy(src, dst string, meta Metadata) error {
 		committed: now,
 		visibleAt: now + s.env.StalenessWindow(),
 	})
-	return nil
+	return ferr
 }
 
 // Delete removes key. Deleting a missing key succeeds, as on S3.
 func (s *Store) Delete(key string) error {
+	return s.retry(func() error { return s.deleteOnce(key) })
+}
+
+func (s *Store) deleteOnce(key string) error {
+	ferr, applied := s.faulted(sim.OpS3Delete, "s3.DELETE", true)
+	if ferr != nil && !applied {
+		return ferr
+	}
 	s.env.Exec(sim.OpS3Delete, 0)
 	s.env.Meter().CountOp("s3.DELETE", 0)
 	now := s.env.Now()
@@ -239,7 +331,7 @@ func (s *Store) Delete(key string) error {
 		s.commitLocked(key, &version{deleted: true, committed: now, visibleAt: now + s.env.StalenessWindow()})
 	}
 	s.mu.Unlock()
-	return nil
+	return ferr
 }
 
 // ListPage is one page of LIST results.
@@ -255,6 +347,19 @@ const maxListKeys = 1000
 // List returns keys beginning with prefix, lexicographically after marker,
 // up to max per page (capped at 1000 as on S3).
 func (s *Store) List(prefix, marker string, max int) (ListPage, error) {
+	var page ListPage
+	err := s.retry(func() error {
+		var err error
+		page, err = s.listOnce(prefix, marker, max)
+		return err
+	})
+	return page, err
+}
+
+func (s *Store) listOnce(prefix, marker string, max int) (ListPage, error) {
+	if ferr, _ := s.faulted(sim.OpS3List, "s3.LIST", false); ferr != nil {
+		return ListPage{}, ferr
+	}
 	if max <= 0 || max > maxListKeys {
 		max = maxListKeys
 	}

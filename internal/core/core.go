@@ -58,6 +58,7 @@ import (
 	"passcloud/internal/cloud/sqs"
 	"passcloud/internal/cloud/store"
 	"passcloud/internal/prov"
+	"passcloud/internal/resilient"
 	"passcloud/internal/sim"
 )
 
@@ -161,6 +162,12 @@ type Deployment struct {
 	WAL   *sqs.QueueSet
 	Topo  Topology
 
+	// Res is the client-side resilience layer (backoff, retry budgets,
+	// breaker, hedging) every service endpoint routes through; installed by
+	// default and inert until a fault plan is armed on the environment. See
+	// SetResilience and package resilient.
+	Res *resilient.Client
+
 	// Resharder state (reshard.go): reshardRunMu serializes whole Reshard
 	// runs (TryLock — a racing second resharder gets ErrReshardInFlight,
 	// never a directory panic); reshardMu guards the one-shot
@@ -192,13 +199,27 @@ func NewDeployment(env *sim.Env) *Deployment {
 // yields a working fabric.
 func NewShardedDeployment(env *sim.Env, topo Topology) *Deployment {
 	topo = topo.normalized()
-	return &Deployment{
+	d := &Deployment{
 		Env:   env,
 		Store: store.New(env),
 		DB:    sdb.NewSet(env, DomainName, topo.DBShards),
 		WAL:   sqs.NewSet(env, WALName, topo.WALShards),
 		Topo:  topo,
 	}
+	// A production client always talks through its SDK's retry layer; the
+	// default client costs nothing until the environment injects faults.
+	d.SetResilience(resilient.New(env, resilient.Policy{}))
+	return d
+}
+
+// SetResilience installs c as the deployment-wide resilience layer on every
+// service endpoint, present and future (nil removes it — the chaos
+// harness's negative control, where injected faults surface raw).
+func (d *Deployment) SetResilience(c *resilient.Client) {
+	d.Res = c
+	d.Store.SetResilience(c)
+	d.DB.SetResilience(c)
+	d.WAL.SetResilience(c)
 }
 
 // Settle advances a manual clock far enough that every staleness window has

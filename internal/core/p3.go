@@ -14,6 +14,7 @@ import (
 	"passcloud/internal/cloud/store"
 	"passcloud/internal/par"
 	"passcloud/internal/prov"
+	"passcloud/internal/sim"
 	"passcloud/internal/uuid"
 )
 
@@ -241,25 +242,28 @@ func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
 	if crashAt := p.takeClientCrash(len(msgs)); crashAt > 0 {
 		// Simulated client crash: only the first crashAt packets reach the
 		// WAL; the daemon must ignore the incomplete transaction.
-		if err := p.sendWAL(wal, msgs[:crashAt]); err != nil {
+		if err := p.sendWAL(wal, txn, msgs[:crashAt]); err != nil {
 			return err
 		}
 		return fmt.Errorf("%w after %d of %d packets", ErrSimulatedCrash, crashAt, len(msgs))
 	}
-	return p.sendWAL(wal, msgs)
+	return p.sendWAL(wal, txn, msgs)
 }
 
 // sendWAL ships WAL messages to one queue shard in ≤10-entry
 // SendMessageBatch calls, batches running in parallel on the provenance
 // connection pool. In serial mode every message is its own SendMessage
-// request.
-func (p *P3) sendWAL(wal *sqs.Queue, msgs [][]byte) error {
+// request. Every send carries an idempotency token derived from the
+// transaction uuid and the chunk sequence, so a send retried after an
+// ambiguous fault (applied but reported failed) never enqueues a packet
+// twice — the queue returns the original ids.
+func (p *P3) sendWAL(wal *sqs.Queue, txn uuid.UUID, msgs [][]byte) error {
 	if p.serial {
 		tasks := make([]func() error, len(msgs))
 		for i, m := range msgs {
-			m := m
+			i, m := i, m
 			tasks[i] = func() error {
-				_, err := wal.SendMessage(m)
+				_, err := wal.SendMessageIdem(m, fmt.Sprintf("%s/%d", txn, i))
 				return err
 			}
 		}
@@ -271,9 +275,9 @@ func (p *P3) sendWAL(wal *sqs.Queue, msgs [][]byte) error {
 		if end > len(msgs) {
 			end = len(msgs)
 		}
-		batch := msgs[start:end]
+		start, batch := start, msgs[start:end]
 		tasks = append(tasks, func() error {
-			_, err := wal.SendMessageBatch(batch)
+			_, err := wal.SendMessageBatchIdem(batch, fmt.Sprintf("%s/%d", txn, start))
 			return err
 		})
 	}
@@ -408,7 +412,7 @@ func (p *P3) commitShards(shards []int) (bool, error) {
 		return false, nil
 	}
 	var errs []error
-	if err := p.deleteReceiptPairs(acks); err != nil {
+	if err := p.cleanupReceipts(acks); err != nil {
 		errs = append(errs, err)
 	}
 	if len(ready) > 0 {
@@ -506,6 +510,33 @@ func (p *P3) deleteReceipts(wal *sqs.Queue, receipts []string) error {
 	return errors.Join(errs...)
 }
 
+// cleanupRetryPasses bounds the extra full re-passes receipt cleanup gets
+// on top of the per-request backoff retries the resilient layer performs,
+// and cleanupRetryDelay spaces them.
+const (
+	cleanupRetryPasses = 3
+	cleanupRetryDelay  = 50 * time.Millisecond
+)
+
+// cleanupReceipts acknowledges shard-tagged receipts, re-running the whole
+// pass — deletes are idempotent, so re-deleting acknowledged receipts is
+// free — a bounded number of times while the collected failures remain
+// transient. Cleanup failures used to be reported and abandoned; every
+// dropped receipt then reappeared after its visibility timeout and cost a
+// full redelivery round, so retrying here with a small budget is strictly
+// cheaper than the redelivery it prevents. Non-transient errors (and
+// whatever still fails after the last pass) surface to the caller.
+func (p *P3) cleanupReceipts(pairs []shardReceipt) error {
+	var err error
+	for pass := 0; ; pass++ {
+		err = p.deleteReceiptPairs(pairs)
+		if err == nil || pass >= cleanupRetryPasses || !sim.IsTransient(err) {
+			return err
+		}
+		p.dep.Env.Clock().Sleep(cleanupRetryDelay)
+	}
+}
+
 // deleteReceiptPairs groups shard-tagged receipts by home shard and
 // acknowledges each shard's group; deletes are idempotent, so order does
 // not matter (the mid-cleanup fault injection truncates the pair list
@@ -581,7 +612,7 @@ func (p *P3) commitGroup(group []*txnState) error {
 		}
 		work = append(work, &txnWork{st: st, hdr: hdr, reqs: reqs})
 	}
-	if err := p.deleteReceiptPairs(acks); err != nil {
+	if err := p.cleanupReceipts(acks); err != nil {
 		errs = append(errs, err)
 	}
 	if len(work) == 0 {
@@ -683,7 +714,7 @@ func (p *P3) commitGroup(group []*txnState) error {
 		// unacknowledged and must be absorbed as redeliveries.
 		receipts = receipts[:drop]
 	}
-	if err := p.deleteReceiptPairs(receipts); err != nil {
+	if err := p.cleanupReceipts(receipts); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)

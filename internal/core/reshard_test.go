@@ -178,6 +178,80 @@ func TestReshardCrashMatrix(t *testing.T) {
 	}
 }
 
+// TestReshardCrashMatrixUnderFaults composes the migration crash matrix
+// with an armed chaos plan: every service request faults with probability
+// 5% (half the mutating faults ambiguous applied-but-reported-failed) and
+// the queue duplicates deliveries, while the resharder is killed at every
+// phase boundary and restarted. The recovered fabric must still hold
+// exactly one copy of every item and read back byte-identical to a
+// fault-free, never-crashed migration of the same workload.
+func TestReshardCrashMatrixUnderFaults(t *testing.T) {
+	const txns, perTxn = 12, 4
+
+	// The fault-free, never-crashed reference.
+	refDep, _, uuids := reshardWorkload(t, 1, txns, perTxn)
+	if _, err := refDep.Reshard(context.Background(), Topology{WALShards: 2, DBShards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	refDep.Settle()
+	want := provDigest(t, refDep, uuids)
+	wantItems := refDep.DB.ItemCount()
+
+	points := []ReshardCrashPoint{
+		ReshardCrashPreCopy, ReshardCrashMidCopy, ReshardCrashPreCutover, ReshardCrashPreGC,
+	}
+	for _, point := range points {
+		t.Run(point.String(), func(t *testing.T) {
+			cfg := sim.DefaultConfig()
+			cfg.Consistency = sim.Eventual
+			cfg.DupProb = 0.05
+			dep := NewShardedDeployment(sim.NewEnv(cfg), Topology{WALShards: 1, DBShards: 1})
+			dep.Env.InstallFaults(sim.UniformPlan(0.05, 0.5))
+
+			p := NewP3(dep, Options{CommitWorkers: 2})
+			objs, bundles := poolTxns(99, txns, perTxn)
+			for i := range objs {
+				if err := p.Commit(objs[i], bundles[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := p.Settle(); err != nil {
+				t.Fatal(err)
+			}
+			dep.Settle()
+
+			dep.SetReshardDropAfter(point)
+			if _, err := dep.Reshard(context.Background(), Topology{WALShards: 2, DBShards: 2}); !errors.Is(err, ErrSimulatedCrash) {
+				t.Fatalf("armed crash at %s did not fire: %v", point, err)
+			}
+			if _, resumed, err := ResumeReshard(context.Background(), dep); err != nil || !resumed {
+				t.Fatalf("resume after %s: resumed=%v err=%v", point, resumed, err)
+			}
+			dep.Settle()
+
+			if got := provDigest(t, dep, uuids); got != want {
+				t.Errorf("digest diverged from fault-free migration (crash at %s)", point)
+			}
+			if got := dep.DB.ItemCount(); got != wantItems {
+				t.Errorf("items = %d, want %d (lost or duplicated under faults)", got, wantItems)
+			}
+			mis, dup, err := AuditFabric(dep)
+			if err != nil || mis != 0 || dup != 0 {
+				t.Errorf("audit: misplaced=%d duplicates=%d err=%v", mis, dup, err)
+			}
+
+			// The run exercised the chaos machinery for real: faults were
+			// injected and the resilient layer absorbed them with retries.
+			if u := dep.Env.Meter().Usage(); u.Faults == 0 {
+				t.Error("plan armed but no faults injected")
+			}
+			if st := dep.Res.Stats().Totals(); st.Retries == 0 {
+				t.Error("faults injected but nothing retried")
+			}
+		})
+	}
+}
+
 // TestReshardCleanerFinishesGC pins the cleaner hand-off: a resharder dead
 // between cutover and GC leaves stale copies that the ordinary cleaner
 // daemon pass collects, without a dedicated recovery call.

@@ -161,7 +161,8 @@ func TestMidFanoutShardFailure(t *testing.T) {
 	e := New(dep, core.BackendSDB)
 
 	boom := errors.New("shard 2 on fire")
-	dep.DB.Shard(2).SetSelectError(boom)
+	inj := dep.Env.InstallFaults(nil)
+	inj.FailOp(dep.DB.Shard(2).Name(), "sdb.Select", boom)
 	_, err := e.CollectRefs(progSpec())
 	if !errors.Is(err, boom) {
 		t.Fatalf("BFS over a failing shard returned %v, want the injected fault", err)
@@ -179,7 +180,7 @@ func TestMidFanoutShardFailure(t *testing.T) {
 	}
 
 	// Clearing the fault restores the full closure.
-	dep.DB.Shard(2).SetSelectError(nil)
+	inj.ClearOp(dep.DB.Shard(2).Name(), "sdb.Select")
 	refs, err := e.CollectRefs(progSpec())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,43 @@
+// Package resilient is the client-side fault-tolerance layer between the
+// protocols and the simulated cloud services — the piece a production client
+// gets from its SDK (gax/cenkalti-backoff style) and that the paper's
+// prototype had to hand-roll around S3/SimpleDB/SQS throttling.
+//
+// One Client is installed per deployment and shared by every service
+// endpoint (core.NewShardedDeployment installs a default one; see
+// Deployment.SetResilience). The leaf services — store.Store, sdb.Domain,
+// sqs.Queue — route each request through Client.Do, so every call site in
+// core, query, reshard and the daemons is covered without per-path wiring.
+// The layer is inert when no fault plan is armed: without transient errors,
+// Do is a single call of the underlying op.
+//
+// Mechanisms, per endpoint (an endpoint is one service partition: the "s3"
+// bucket, a SimpleDB domain like "prov-2", an SQS queue like "wal-1"):
+//
+//   - Exponential backoff with full jitter, clocked on the simulated clock:
+//     retry n sleeps uniform [0, min(MaxBackoff, InitialBackoff·Mult^n)].
+//     Only sim.IsTransient errors (injected SlowDown/ServiceUnavailable)
+//     are retried; semantic errors surface on the first attempt.
+//   - A retry budget (token bucket): retries spend a token, successes earn
+//     a fraction back, so a dying endpoint degrades to fail-fast instead of
+//     retry-storming the service.
+//   - A circuit breaker: a run of consecutive transient failures opens the
+//     endpoint for BreakerCooldown; calls fail fast (ErrCircuitOpen) until
+//     a probe succeeds.
+//   - Request hedging (Hedged): on a live clock, a scatter-gather shard
+//     drain that has not returned within HedgeAfter gets one duplicate
+//     attempt, first result wins — idempotent reads only. Under a manual
+//     clock hedging is disabled, because every sleeper advances the shared
+//     logical clock.
+//
+// Exactly-once composition: retried writes are safe because provenance
+// items and store objects are immutable full-replaces, and retried WAL
+// sends carry idempotency tokens (txn uuid + chunk sequence) that the queue
+// deduplicates (sqs.Queue.SendMessageBatchIdem), so an ambiguous
+// fail-applied fault plus a retry never double-enqueues a packet.
+//
+// Backoff delays draw from the client's own seeded stream (never the
+// environment's), so enabling the layer does not perturb staleness or
+// latency sampling: chaos runs stay content-equivalent to fault-free runs,
+// which is what internal/bench's chaos harness pins.
+package resilient

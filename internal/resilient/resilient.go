@@ -1,0 +1,351 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+// ErrCircuitOpen wraps the error that is failed fast while an endpoint's
+// circuit breaker is open.
+var ErrCircuitOpen = errors.New("resilient: circuit open")
+
+// ErrBudgetExhausted wraps the error returned when an endpoint's retry
+// budget is spent and a transient failure cannot be retried.
+var ErrBudgetExhausted = errors.New("resilient: retry budget exhausted")
+
+// Policy tunes the client's retry, breaker and hedging behaviour. The zero
+// value selects the defaults below, so Policy{} is a working configuration.
+type Policy struct {
+	// InitialBackoff is the cap of the first retry's full-jitter delay.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth of the per-attempt delay.
+	MaxBackoff time.Duration
+	// Multiplier grows the delay cap per attempt.
+	Multiplier float64
+	// MaxAttempts bounds the attempts of one Do call (first try included).
+	MaxAttempts int
+	// RetryBudget is the per-endpoint token bucket capacity: every retry
+	// spends one token and every successful first attempt earns BudgetRefill
+	// back, so a persistently failing endpoint stops consuming requests
+	// instead of retry-storming the service.
+	RetryBudget float64
+	// BudgetRefill is the fraction of a token a successful attempt earns.
+	BudgetRefill float64
+	// BreakerThreshold is the run of consecutive transient failures (across
+	// calls) that opens an endpoint's circuit breaker; while open, calls
+	// fail fast without touching the service. Negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// letting a probe attempt through (half-open).
+	BreakerCooldown time.Duration
+	// HedgeAfter is the straggler threshold of Hedged: if the primary
+	// attempt has not returned after this much virtual time, an identical
+	// hedge attempt is launched and the first result wins. Hedging only
+	// engages on a live clock — under a manual clock every sleeper advances
+	// the shared logical clock, so a hedge watchdog would corrupt timing.
+	// Negative disables hedging.
+	HedgeAfter time.Duration
+}
+
+// Defaults (virtual time).
+const (
+	DefaultInitialBackoff   = 25 * time.Millisecond
+	DefaultMaxBackoff       = 2 * time.Second
+	DefaultMultiplier       = 2.0
+	DefaultMaxAttempts      = 6
+	DefaultRetryBudget      = 64.0
+	DefaultBudgetRefill     = 0.1
+	DefaultBreakerThreshold = 24
+	DefaultBreakerCooldown  = 2 * time.Second
+	DefaultHedgeAfter       = 400 * time.Millisecond
+)
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = DefaultInitialBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.RetryBudget <= 0 {
+		p.RetryBudget = DefaultRetryBudget
+	}
+	if p.BudgetRefill <= 0 {
+		p.BudgetRefill = DefaultBudgetRefill
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if p.HedgeAfter == 0 {
+		p.HedgeAfter = DefaultHedgeAfter
+	}
+	return p
+}
+
+// endpointState is the per-endpoint retry budget, breaker and counters.
+type endpointState struct {
+	budget    float64
+	failRun   int           // consecutive transient failures (breaker input)
+	openUntil time.Duration // breaker open until this virtual time; 0 = closed
+
+	attempts      int64
+	retries       int64
+	hedges        int64
+	breakerOpens  int64
+	breakerFast   int64 // calls failed fast by an open breaker
+	budgetDenials int64
+}
+
+// Client routes service calls through exponential backoff with full jitter
+// (clocked on the simulated clock), a per-endpoint retry budget, a circuit
+// breaker, and optional request hedging. One client is shared by every
+// endpoint of a deployment; state is tracked per endpoint name.
+//
+// Only errors recognised by sim.IsTransient are retried: semantic errors
+// (missing keys, validation failures, forced test faults) surface to the
+// caller on the first attempt exactly as they do without the client.
+//
+// Backoff delays draw from the client's own seeded random stream, never the
+// environment's, so enabling resilience does not perturb the simulation's
+// staleness and jitter sampling.
+type Client struct {
+	env *sim.Env
+	pol Policy
+	rnd *sim.Rand
+
+	mu  sync.Mutex
+	eps map[string]*endpointState
+}
+
+// backoffSeedSalt decorrelates the backoff stream from the environment's
+// and the fault injector's (all derive from the config seed).
+const backoffSeedSalt = 0xbac0ff
+
+// New returns a client bound to env with pol (zero fields defaulted).
+func New(env *sim.Env, pol Policy) *Client {
+	return &Client{
+		env: env,
+		pol: pol.withDefaults(),
+		rnd: sim.NewRand(env.Config().Seed ^ backoffSeedSalt),
+	}
+}
+
+// Env returns the environment the client clocks against.
+func (c *Client) Env() *sim.Env { return c.env }
+
+// Policy returns the effective (defaulted) policy.
+func (c *Client) Policy() Policy { return c.pol }
+
+// state returns endpoint's state, creating it with a full budget.
+func (c *Client) state(endpoint string) *endpointState {
+	if c.eps == nil {
+		c.eps = make(map[string]*endpointState)
+	}
+	st := c.eps[endpoint]
+	if st == nil {
+		st = &endpointState{budget: c.pol.RetryBudget}
+		c.eps[endpoint] = st
+	}
+	return st
+}
+
+// Do runs op against endpoint, retrying transient failures with
+// exponentially growing full-jitter backoff until it succeeds, returns a
+// non-retryable error, exhausts MaxAttempts, or runs out of retry budget.
+func (c *Client) Do(endpoint string, op func() error) error {
+	// Breaker check up front: while open, fail fast without a service call.
+	now := c.env.Now()
+	c.mu.Lock()
+	st := c.state(endpoint)
+	if st.openUntil > 0 {
+		if now < st.openUntil {
+			st.breakerFast++
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s until t=%s", ErrCircuitOpen, endpoint, st.openUntil)
+		}
+		st.openUntil = 0 // half-open: let this call probe the endpoint
+		st.failRun = 0
+	}
+	c.mu.Unlock()
+
+	var err error
+	for attempt := 0; attempt < c.pol.MaxAttempts; attempt++ {
+		c.mu.Lock()
+		st.attempts++
+		c.mu.Unlock()
+		err = op()
+
+		c.mu.Lock()
+		if err == nil || !sim.IsTransient(err) {
+			// Success and semantic failures both close the failure run and
+			// slowly refill the retry budget.
+			st.failRun = 0
+			if st.budget < c.pol.RetryBudget {
+				st.budget += c.pol.BudgetRefill
+				if st.budget > c.pol.RetryBudget {
+					st.budget = c.pol.RetryBudget
+				}
+			}
+			c.mu.Unlock()
+			return err
+		}
+		st.failRun++
+		if c.pol.BreakerThreshold > 0 && st.failRun >= c.pol.BreakerThreshold {
+			st.failRun = 0
+			st.openUntil = c.env.Now() + c.pol.BreakerCooldown
+			st.breakerOpens++
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s: %w", ErrCircuitOpen, endpoint, err)
+		}
+		if attempt == c.pol.MaxAttempts-1 {
+			c.mu.Unlock()
+			return err
+		}
+		if st.budget < 1 {
+			st.budgetDenials++
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s: %w", ErrBudgetExhausted, endpoint, err)
+		}
+		st.budget--
+		st.retries++
+		c.mu.Unlock()
+
+		c.env.Clock().Sleep(c.backoff(attempt))
+	}
+	return err
+}
+
+// backoff samples the full-jitter delay of retry attempt (0-based first
+// attempt): uniform in [0, min(MaxBackoff, InitialBackoff·Multiplier^n)],
+// the cenkalti/backoff-style decorrelated policy AWS SDKs converged on.
+func (c *Client) backoff(attempt int) time.Duration {
+	lim := float64(c.pol.InitialBackoff)
+	for i := 0; i < attempt && lim < float64(c.pol.MaxBackoff); i++ {
+		lim *= c.pol.Multiplier
+	}
+	if lim > float64(c.pol.MaxBackoff) {
+		lim = float64(c.pol.MaxBackoff)
+	}
+	return time.Duration(c.rnd.Float64() * lim)
+}
+
+// Hedged runs fn and, on a live clock, launches one identical hedge attempt
+// if the primary has not returned within HedgeAfter of virtual time; the
+// first result wins. It exists for the scatter-gather read path: per-shard
+// drains are idempotent reads, so a straggling or fault-backed-off shard is
+// cheaply overtaken by a fresh attempt instead of gating the whole fan-out
+// on the slowest shard's retries. Under a manual clock (or with hedging
+// disabled) it is exactly fn().
+func Hedged[T any](c *Client, endpoint string, fn func() (T, error)) (T, error) {
+	if c == nil || c.pol.HedgeAfter <= 0 || !c.env.Clock().Live() {
+		return fn()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	results := make(chan result, 2) // both attempts can always complete
+	launch := func() {
+		v, err := fn()
+		results <- result{v, err}
+	}
+	go launch()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		c.env.Clock().Sleep(c.pol.HedgeAfter)
+		select {
+		case <-done:
+			return
+		default:
+		}
+		c.mu.Lock()
+		c.state(endpoint).hedges++
+		c.mu.Unlock()
+		go launch()
+	}()
+	r := <-results
+	return r.v, r.err
+}
+
+// EndpointStats is the per-endpoint counter snapshot.
+type EndpointStats struct {
+	Attempts      int64 // service attempts issued (first tries + retries)
+	Retries       int64 // backed-off re-attempts
+	Hedges        int64 // hedge attempts launched
+	BreakerOpens  int64 // times the circuit opened
+	BreakerFast   int64 // calls failed fast while open
+	BudgetDenials int64 // retries denied by an exhausted budget
+}
+
+// Stats is a snapshot of the client's counters.
+type Stats struct {
+	Endpoints map[string]EndpointStats
+}
+
+// Totals sums the per-endpoint counters.
+func (s Stats) Totals() EndpointStats {
+	var t EndpointStats
+	for _, e := range s.Endpoints {
+		t.Attempts += e.Attempts
+		t.Retries += e.Retries
+		t.Hedges += e.Hedges
+		t.BreakerOpens += e.BreakerOpens
+		t.BreakerFast += e.BreakerFast
+		t.BudgetDenials += e.BudgetDenials
+	}
+	return t
+}
+
+// String renders the totals plus any endpoint that saw retries or hedges.
+func (s Stats) String() string {
+	t := s.Totals()
+	var b strings.Builder
+	fmt.Fprintf(&b, "attempts=%d retries=%d hedges=%d breaker=%d", t.Attempts, t.Retries, t.Hedges, t.BreakerOpens)
+	names := make([]string, 0, len(s.Endpoints))
+	for n, e := range s.Endpoints {
+		if e.Retries > 0 || e.Hedges > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := s.Endpoints[n]
+		fmt.Fprintf(&b, " %s=%d/%d", n, e.Retries, e.Hedges)
+	}
+	return b.String()
+}
+
+// Stats returns a copy of the per-endpoint counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{Endpoints: make(map[string]EndpointStats, len(c.eps))}
+	for name, st := range c.eps {
+		out.Endpoints[name] = EndpointStats{
+			Attempts:      st.attempts,
+			Retries:       st.retries,
+			Hedges:        st.hedges,
+			BreakerOpens:  st.breakerOpens,
+			BreakerFast:   st.breakerFast,
+			BudgetDenials: st.budgetDenials,
+		}
+	}
+	return out
+}

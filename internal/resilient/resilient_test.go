@@ -1,0 +1,216 @@
+package resilient
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"passcloud/internal/sim"
+)
+
+func transientErr() error {
+	return &sim.TransientError{Endpoint: "ep", Op: "s3.PUT", Code: sim.CodeSlowDown}
+}
+
+func manualClient(pol Policy) *Client {
+	return New(sim.NewEnv(sim.DefaultConfig()), pol)
+}
+
+// TestRetryUntilSuccess pins the happy chaos path: transient failures are
+// retried with backoff (virtual time advances) until the op succeeds.
+func TestRetryUntilSuccess(t *testing.T) {
+	c := manualClient(Policy{})
+	start := c.Env().Now()
+	calls := 0
+	err := c.Do("ep", func() error {
+		calls++
+		if calls < 3 {
+			return transientErr()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success after retries", err)
+	}
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	if c.Env().Now() == start {
+		t.Fatal("no backoff was slept between attempts")
+	}
+	st := c.Stats().Endpoints["ep"]
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries", st)
+	}
+}
+
+// TestNonTransientPassthrough pins that semantic errors surface on the first
+// attempt, unretried, exactly as they would without the client.
+func TestNonTransientPassthrough(t *testing.T) {
+	c := manualClient(Policy{})
+	boom := errors.New("not found")
+	calls := 0
+	err := c.Do("ep", func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want boom after 1", err, calls)
+	}
+}
+
+// TestMaxAttempts pins that a persistently failing op gives up after
+// MaxAttempts and returns the transient error itself.
+func TestMaxAttempts(t *testing.T) {
+	c := manualClient(Policy{MaxAttempts: 4, BreakerThreshold: -1})
+	calls := 0
+	err := c.Do("ep", func() error { calls++; return transientErr() })
+	if !sim.IsTransient(err) {
+		t.Fatalf("Do = %v, want the transient error", err)
+	}
+	if calls != 4 {
+		t.Fatalf("op ran %d times, want 4", calls)
+	}
+}
+
+// TestRetryBudget pins the token bucket: once the per-endpoint budget is
+// spent, further transient failures are not retried.
+func TestRetryBudget(t *testing.T) {
+	c := manualClient(Policy{RetryBudget: 2, MaxAttempts: 10, BreakerThreshold: -1})
+	calls := 0
+	err := c.Do("ep", func() error { calls++; return transientErr() })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Do = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 3 { // first try + the two budgeted retries
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	if st := c.Stats().Endpoints["ep"]; st.BudgetDenials != 1 {
+		t.Fatalf("stats = %+v, want 1 budget denial", st)
+	}
+
+	// Successes refill the budget fractionally.
+	for i := 0; i < 20; i++ {
+		if err := c.Do("ep", func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls = 0
+	err = c.Do("ep", func() error {
+		calls++
+		if calls < 2 {
+			return transientErr()
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("refilled budget did not allow a retry: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestCircuitBreaker pins the breaker lifecycle: a run of consecutive
+// transient failures opens it, open calls fail fast without touching the
+// service, and after the cooldown a probe call goes through.
+func TestCircuitBreaker(t *testing.T) {
+	c := manualClient(Policy{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: time.Second})
+	fail := func() error { return transientErr() }
+
+	for i := 0; i < 2; i++ {
+		if err := c.Do("ep", fail); !sim.IsTransient(err) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if err := c.Do("ep", fail); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("threshold call = %v, want ErrCircuitOpen", err)
+	}
+
+	// While open: fail fast, service untouched.
+	touched := false
+	if err := c.Do("ep", func() error { touched = true; return nil }); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-breaker call = %v, want fast ErrCircuitOpen", err)
+	}
+	if touched {
+		t.Fatal("open breaker let a call through")
+	}
+	st := c.Stats().Endpoints["ep"]
+	if st.BreakerOpens != 1 || st.BreakerFast != 1 {
+		t.Fatalf("stats = %+v, want 1 open / 1 fast-fail", st)
+	}
+
+	// After the cooldown the next call probes the endpoint.
+	c.Env().Clock().Advance(2 * time.Second)
+	if err := c.Do("ep", func() error { touched = true; return nil }); err != nil || !touched {
+		t.Fatalf("half-open probe: err=%v touched=%v", err, touched)
+	}
+	// Other endpoints were never affected.
+	if err := c.Do("other", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHedgedManualPassthrough pins that hedging is inert under a manual
+// clock and with a nil client: exactly one attempt runs.
+func TestHedgedManualPassthrough(t *testing.T) {
+	c := manualClient(Policy{})
+	calls := 0
+	v, err := Hedged(c, "ep", func() (int, error) { calls++; return 7, nil })
+	if v != 7 || err != nil || calls != 1 {
+		t.Fatalf("manual-clock Hedged: v=%d err=%v calls=%d", v, err, calls)
+	}
+	v, err = Hedged[int](nil, "ep", func() (int, error) { calls++; return 9, nil })
+	if v != 9 || err != nil || calls != 2 {
+		t.Fatalf("nil-client Hedged: v=%d err=%v calls=%d", v, err, calls)
+	}
+}
+
+// TestHedgedOvertakesStraggler pins hedging on a live clock: when the
+// primary attempt stalls past HedgeAfter, the hedge attempt's result wins.
+func TestHedgedOvertakesStraggler(t *testing.T) {
+	env := sim.NewEnv(sim.Config{Seed: 1, TimeScale: 1000, Site: sim.SiteEC2})
+	c := New(env, Policy{HedgeAfter: 50 * time.Millisecond})
+	var n atomic.Int32
+	v, err := Hedged(c, "ep", func() (string, error) {
+		if n.Add(1) == 1 {
+			env.Clock().Sleep(5 * time.Second) // straggling primary
+			return "slow", nil
+		}
+		return "fast", nil
+	})
+	if err != nil || v != "fast" {
+		t.Fatalf("Hedged = %q, %v; want the hedge's result", v, err)
+	}
+	if st := c.Stats().Endpoints["ep"]; st.Hedges != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge", st)
+	}
+}
+
+// TestPolicyDefaults pins that the zero policy is fully defaulted.
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.InitialBackoff != DefaultInitialBackoff || p.MaxBackoff != DefaultMaxBackoff ||
+		p.MaxAttempts != DefaultMaxAttempts || p.RetryBudget != DefaultRetryBudget ||
+		p.BreakerThreshold != DefaultBreakerThreshold || p.HedgeAfter != DefaultHedgeAfter {
+		t.Fatalf("withDefaults = %+v", p)
+	}
+	// Negative knobs disable rather than default.
+	p = Policy{BreakerThreshold: -1, HedgeAfter: -1}.withDefaults()
+	if p.BreakerThreshold != -1 || p.HedgeAfter != -1 {
+		t.Fatalf("negative knobs were overwritten: %+v", p)
+	}
+}
+
+// TestBackoffBounds pins the full-jitter envelope: every sampled delay lies
+// in [0, min(MaxBackoff, Initial·Mult^n)] and the cap saturates at
+// MaxBackoff.
+func TestBackoffBounds(t *testing.T) {
+	c := manualClient(Policy{InitialBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Multiplier: 2})
+	for attempt := 0; attempt < 8; attempt++ {
+		lim := 10 * time.Millisecond << attempt
+		if lim > 80*time.Millisecond {
+			lim = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt); d < 0 || d > lim {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, lim)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// chk runs one fault check and returns just the error.
+func chk(f *FaultInjector, endpoint, op string, mutating bool) error {
+	err, _ := f.Check(endpoint, op, mutating)
+	return err
+}
+
+// TestFaultPlanResolution pins the key-resolution order — exact endpoint,
+// then service class, then wildcard — including that a present endpoint
+// entry shields the endpoint from a broader class entry even when its own
+// spec does not match.
+func TestFaultPlanResolution(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	inj := env.InstallFaults(FaultPlan{
+		"prov-2": {Prob: 1, Ops: []string{"sdb.Select"}},
+		"sdb":    {Prob: 1},
+		"*":      {Prob: 1, Code: "Wildcard"},
+	})
+
+	// Exact endpoint entry wins and restricts to its op list.
+	if err := chk(inj, "prov-2", "sdb.Select", false); !IsTransient(err) {
+		t.Fatalf("exact endpoint entry did not fire: %v", err)
+	}
+	// The endpoint entry shields prov-2 from the class entry: a non-listed
+	// op passes clean even though "sdb" would fault it.
+	if err := chk(inj, "prov-2", "sdb.PutAttributes", true); err != nil {
+		t.Fatalf("endpoint entry failed to shield non-listed op: %v", err)
+	}
+	// Other domains fall through to the class entry.
+	if err := chk(inj, "prov-0", "sdb.PutAttributes", true); !IsTransient(err) {
+		t.Fatalf("class entry did not fire: %v", err)
+	}
+	// Unrelated services fall through to the wildcard.
+	err := chk(inj, "s3", "s3.PUT", true)
+	var te *TransientError
+	if !errors.As(err, &te) || te.Code != "Wildcard" {
+		t.Fatalf("wildcard entry did not fire with its code: %v", err)
+	}
+}
+
+// TestFaultDefaultCodes pins the conventional per-service error codes.
+func TestFaultDefaultCodes(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	inj := env.InstallFaults(UniformPlan(1, 0))
+	for _, tc := range []struct{ op, code string }{
+		{"s3.PUT", CodeSlowDown},
+		{"sdb.Select", CodeServiceUnavailable},
+		{"sqs.SendMessage", CodeServiceUnavailable},
+	} {
+		err := chk(inj, "ep", tc.op, false)
+		var te *TransientError
+		if !errors.As(err, &te) || te.Code != tc.code {
+			t.Fatalf("%s: got %v, want code %s", tc.op, err, tc.code)
+		}
+	}
+}
+
+// TestForcedFaults pins FailOp (persistent until cleared), FailNextOp
+// (one-shot) and the any-op slot.
+func TestForcedFaults(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	inj := env.InstallFaults(nil)
+	boom := errors.New("boom")
+
+	inj.FailOp("prov-1", "sdb.Select", boom)
+	for i := 0; i < 3; i++ {
+		if err := chk(inj, "prov-1", "sdb.Select", false); !errors.Is(err, boom) {
+			t.Fatalf("persistent forced fault pass %d: %v", i, err)
+		}
+	}
+	if err := chk(inj, "prov-1", "sdb.PutAttributes", true); err != nil {
+		t.Fatalf("forced fault leaked onto another op: %v", err)
+	}
+	inj.ClearOp("prov-1", "sdb.Select")
+	if err := chk(inj, "prov-1", "sdb.Select", false); err != nil {
+		t.Fatalf("ClearOp did not disarm: %v", err)
+	}
+
+	inj.FailNextOp("wal-0", "sqs.SendMessage", boom)
+	if err := chk(inj, "wal-0", "sqs.SendMessage", true); !errors.Is(err, boom) {
+		t.Fatalf("one-shot fault did not fire: %v", err)
+	}
+	if err := chk(inj, "wal-0", "sqs.SendMessage", true); err != nil {
+		t.Fatalf("one-shot fault fired twice: %v", err)
+	}
+
+	// The empty-op slot faults every op on the endpoint.
+	inj.FailOp("s3", "", boom)
+	if err := chk(inj, "s3", "s3.GET", false); !errors.Is(err, boom) {
+		t.Fatalf("any-op forced fault did not fire: %v", err)
+	}
+	inj.ClearOp("s3", "")
+}
+
+// TestFaultWindow pins the From/Until virtual-time bounds.
+func TestFaultWindow(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	inj := env.InstallFaults(FaultPlan{
+		"*": {Prob: 1, From: 10 * time.Second, Until: 20 * time.Second},
+	})
+	if err := chk(inj, "ep", "s3.PUT", true); err != nil {
+		t.Fatalf("fault fired before the window: %v", err)
+	}
+	env.Clock().Advance(15 * time.Second)
+	if err := chk(inj, "ep", "s3.PUT", true); !IsTransient(err) {
+		t.Fatalf("fault did not fire inside the window: %v", err)
+	}
+	env.Clock().Advance(10 * time.Second)
+	if err := chk(inj, "ep", "s3.PUT", true); err != nil {
+		t.Fatalf("fault fired after the window: %v", err)
+	}
+}
+
+// TestFaultApplyProb pins the ambiguous fail-applied outcome: it only occurs
+// on mutating ops, with ApplyProb 1 every mutating fault is applied, and with
+// ApplyProb 0 none is.
+func TestFaultApplyProb(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	inj := env.InstallFaults(UniformPlan(1, 1))
+	if err, applied := inj.Check("ep", "sdb.PutAttributes", true); !IsTransient(err) || !applied {
+		t.Fatalf("ApplyProb=1 mutating fault: err=%v applied=%v, want transient+applied", err, applied)
+	}
+	if err, applied := inj.Check("ep", "sdb.Select", false); !IsTransient(err) || applied {
+		t.Fatalf("read op drew the applied outcome: err=%v applied=%v", err, applied)
+	}
+	inj.SetPlan(UniformPlan(1, 0))
+	if err, applied := inj.Check("ep", "sdb.PutAttributes", true); !IsTransient(err) || applied {
+		t.Fatalf("ApplyProb=0 mutating fault: err=%v applied=%v, want clean rejection", err, applied)
+	}
+}
+
+// TestFaultDeterminism pins that two injectors with the same seed draw the
+// identical fault sequence, and that fault draws do not consume from the
+// environment's random stream.
+func TestFaultDeterminism(t *testing.T) {
+	seq := func() []bool {
+		env := NewEnv(DefaultConfig())
+		inj := env.InstallFaults(UniformPlan(0.3, 0.5))
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = chk(inj, "ep", "s3.PUT", true) != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at %d", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("no faults drawn at Prob=0.3 over 64 requests")
+	}
+
+	// Arming a plan must not perturb the environment's own stream.
+	envA := NewEnv(DefaultConfig())
+	envB := NewEnv(DefaultConfig())
+	envB.InstallFaults(UniformPlan(0.5, 0.5))
+	for i := 0; i < 16; i++ {
+		envB.FaultPoint("ep", "s3.PUT", true)
+	}
+	for i := 0; i < 8; i++ {
+		if a, b := envA.Rand().Float64(), envB.Rand().Float64(); a != b {
+			t.Fatalf("fault draws perturbed the env stream at %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+// TestFaultMeterCounts pins that every injected fault — probabilistic and
+// forced — is counted by the meter, per endpoint.
+func TestFaultMeterCounts(t *testing.T) {
+	env := NewEnv(DefaultConfig())
+	inj := env.InstallFaults(UniformPlan(1, 0))
+	for i := 0; i < 3; i++ {
+		chk(inj, "prov-0", "sdb.Select", false)
+	}
+	inj.SetPlan(nil)
+	inj.FailNextOp("wal-0", "sqs.SendMessage", errors.New("boom"))
+	chk(inj, "wal-0", "sqs.SendMessage", true)
+
+	u := env.Meter().Usage()
+	if u.Faults != 4 {
+		t.Fatalf("Faults = %d, want 4", u.Faults)
+	}
+	if u.FaultsByEndpoint["prov-0"] != 3 || u.FaultsByEndpoint["wal-0"] != 1 {
+		t.Fatalf("FaultsByEndpoint = %v", u.FaultsByEndpoint)
+	}
+}
+
+// TestIsTransientJoin pins that IsTransient descends into joined error
+// chains, which is how P3's cleanup pass classifies collected failures.
+func TestIsTransientJoin(t *testing.T) {
+	te := &TransientError{Endpoint: "s3", Op: "s3.PUT", Code: CodeSlowDown}
+	if !IsTransient(errors.Join(errors.New("other"), te)) {
+		t.Fatal("IsTransient missed a joined transient error")
+	}
+	if IsTransient(errors.Join(errors.New("a"), errors.New("b"))) {
+		t.Fatal("IsTransient misfired on a plain join")
+	}
+}

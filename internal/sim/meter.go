@@ -52,25 +52,28 @@ const (
 // Meter accumulates requests, transfer and storage so a run's dollar cost
 // can be reported the way Table 4 does.
 type Meter struct {
-	mu            sync.Mutex
-	requests      [numCostClasses]int64
-	machineSec    float64
-	bytesIn       int64
-	bytesOut      int64
-	stored        int64 // current storage footprint (bytes)
-	peakStored    int64
-	opsByKind     map[string]int64
-	opsTotal      int64
-	bytesByKind   map[string]int64
-	opsByEndpoint map[string]int64
+	mu               sync.Mutex
+	requests         [numCostClasses]int64
+	machineSec       float64
+	bytesIn          int64
+	bytesOut         int64
+	stored           int64 // current storage footprint (bytes)
+	peakStored       int64
+	opsByKind        map[string]int64
+	opsTotal         int64
+	bytesByKind      map[string]int64
+	opsByEndpoint    map[string]int64
+	faultsTotal      int64
+	faultsByEndpoint map[string]int64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
 	return &Meter{
-		opsByKind:     make(map[string]int64),
-		bytesByKind:   make(map[string]int64),
-		opsByEndpoint: make(map[string]int64),
+		opsByKind:        make(map[string]int64),
+		bytesByKind:      make(map[string]int64),
+		opsByEndpoint:    make(map[string]int64),
+		faultsByEndpoint: make(map[string]int64),
 	}
 }
 
@@ -96,6 +99,16 @@ func (m *Meter) CountOp(kind string, payload int64) {
 func (m *Meter) CountEndpointOp(endpoint string) {
 	m.mu.Lock()
 	m.opsByEndpoint[endpoint]++
+	m.mu.Unlock()
+}
+
+// CountFault records one injected transient fault against a named endpoint
+// (see faults.go), so chaos runs can report how much abuse the substrate
+// absorbed.
+func (m *Meter) CountFault(endpoint string) {
+	m.mu.Lock()
+	m.faultsTotal++
+	m.faultsByEndpoint[endpoint]++
 	m.mu.Unlock()
 }
 
@@ -144,6 +157,10 @@ type Usage struct {
 	// OpsByEndpoint counts requests per named service endpoint (domain or
 	// queue shard); endpoints that saw no traffic are absent.
 	OpsByEndpoint map[string]int64
+	// Faults counts injected transient faults, in total and per endpoint;
+	// endpoints that saw no faults are absent.
+	Faults           int64
+	FaultsByEndpoint map[string]int64
 }
 
 // Usage returns a copy of the meter's counters.
@@ -151,16 +168,18 @@ func (m *Meter) Usage() Usage {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	u := Usage{
-		Requests:      make(map[CostClass]int64, numCostClasses),
-		TotalOps:      m.opsTotal,
-		MachineSec:    m.machineSec,
-		BytesIn:       m.bytesIn,
-		BytesOut:      m.bytesOut,
-		Stored:        m.stored,
-		PeakStored:    m.peakStored,
-		OpsByKind:     make(map[string]int64, len(m.opsByKind)),
-		BytesByKind:   make(map[string]int64, len(m.bytesByKind)),
-		OpsByEndpoint: make(map[string]int64, len(m.opsByEndpoint)),
+		Requests:         make(map[CostClass]int64, numCostClasses),
+		TotalOps:         m.opsTotal,
+		MachineSec:       m.machineSec,
+		BytesIn:          m.bytesIn,
+		BytesOut:         m.bytesOut,
+		Stored:           m.stored,
+		PeakStored:       m.peakStored,
+		OpsByKind:        make(map[string]int64, len(m.opsByKind)),
+		BytesByKind:      make(map[string]int64, len(m.bytesByKind)),
+		OpsByEndpoint:    make(map[string]int64, len(m.opsByEndpoint)),
+		Faults:           m.faultsTotal,
+		FaultsByEndpoint: make(map[string]int64, len(m.faultsByEndpoint)),
 	}
 	for c := CostClass(0); c < numCostClasses; c++ {
 		if m.requests[c] != 0 {
@@ -175,6 +194,9 @@ func (m *Meter) Usage() Usage {
 	}
 	for k, v := range m.opsByEndpoint {
 		u.OpsByEndpoint[k] = v
+	}
+	for k, v := range m.faultsByEndpoint {
+		u.FaultsByEndpoint[k] = v
 	}
 	return u
 }

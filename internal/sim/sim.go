@@ -180,6 +180,9 @@ type Env struct {
 	// transfers space their admissions so aggregate bandwidth stays below
 	// the host cap.
 	hostNet time.Duration
+
+	faultMu sync.Mutex
+	faults  *FaultInjector // nil until InstallFaults; see faults.go
 }
 
 // NewEnv creates an environment from cfg, filling defaults.
@@ -217,6 +220,43 @@ func (e *Env) Model() Model { return e.model }
 
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.clock.Now() }
+
+// InstallFaults installs (or returns the already-installed) fault injector
+// and arms it with plan; a nil plan installs the injector with probabilistic
+// injection disarmed, which is how tests arm forced faults only. Installing
+// over an existing injector replaces its plan but keeps its random stream
+// and forced faults.
+func (e *Env) InstallFaults(plan FaultPlan) *FaultInjector {
+	e.faultMu.Lock()
+	defer e.faultMu.Unlock()
+	if e.faults == nil {
+		e.faults = newFaultInjector(e.cfg, e.clock, e.meter, plan)
+	} else {
+		e.faults.SetPlan(plan)
+	}
+	return e.faults
+}
+
+// Faults returns the installed fault injector, or nil.
+func (e *Env) Faults() *FaultInjector {
+	e.faultMu.Lock()
+	defer e.faultMu.Unlock()
+	return e.faults
+}
+
+// FaultPoint consults the fault injector for one request of op kind op
+// against endpoint; mutating marks state-changing ops (eligible for the
+// ambiguous fail-applied outcome). With no injector installed it is a nil
+// check. Service implementations call it before executing each request.
+func (e *Env) FaultPoint(endpoint, op string, mutating bool) (err error, applied bool) {
+	e.faultMu.Lock()
+	f := e.faults
+	e.faultMu.Unlock()
+	if f == nil {
+		return nil, false
+	}
+	return f.Check(endpoint, op, mutating)
+}
 
 // Compute charges d of client compute time (application work between I/O).
 func (e *Env) Compute(d time.Duration) {
