@@ -21,6 +21,11 @@
 //	faults [p|off]       arm a uniform transient-fault plan / show fault and
 //	                     retry counters (injected faults, per-endpoint split,
 //	                     resilient-client retries, hedges, breaker opens)
+//	tenants [stats|demo] show per-tenant admission counters (admitted /
+//	                     queued / shed), placement bands and the front door's
+//	                     tenant-keyed resilience stats; "demo" drives a short
+//	                     two-tenant burst through the front door (P3 only) so
+//	                     the counters have something to show
 //	bill                 show the accumulated cloud bill
 //	help / quit
 //
@@ -36,21 +41,46 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"passcloud/internal/bench"
 	"passcloud/internal/core"
+	"passcloud/internal/frontdoor"
 	"passcloud/internal/pasfs"
 	"passcloud/internal/pass"
+	"passcloud/internal/prov"
 	"passcloud/internal/query"
 	"passcloud/internal/sim"
 	"passcloud/internal/workload"
 )
+
+// demoTxn builds one small transaction for the front-door demo: a process
+// bundle and a file it outputs, both minted inside the tenant's band.
+func demoTxn(tn *frontdoor.Tenant, i int) (core.FileObject, []prov.Bundle) {
+	path := fmt.Sprintf("mnt/tenants/%s/%04d", tn.ID(), i)
+	proc := prov.Ref{UUID: tn.NewUUID(), Version: 1}
+	file := prov.Ref{UUID: tn.NewUUID(), Version: 1}
+	bundles := []prov.Bundle{
+		{Ref: proc, Type: prov.Process, Name: "tenantprog", Records: []prov.Record{
+			{Attr: prov.AttrType, Value: "proc"},
+			{Attr: prov.AttrName, Value: "tenantprog"},
+		}},
+		{Ref: file, Type: prov.File, Name: path, Records: []prov.Record{
+			{Attr: prov.AttrType, Value: "file"},
+			{Attr: prov.AttrName, Value: path},
+			{Attr: prov.AttrInput, Xref: proc},
+		}},
+	}
+	return core.FileObject{Path: path, Size: 512, Ref: file}, bundles
+}
 
 // printTopology renders both placement directories: epoch ids, hash ranges
 // and per-shard load (items / queued messages).
@@ -142,7 +172,8 @@ func main() {
 
 	backend := core.BackendOf(proto)
 	eng := query.New(dep, backend)
-	chaosProb := 0.0 // the armed uniform fault probability (0 = disarmed)
+	chaosProb := 0.0          // the armed uniform fault probability (0 = disarmed)
+	var door *frontdoor.Door // created on first `tenants demo`
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("provctl> ")
@@ -164,7 +195,7 @@ func main() {
 			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
 			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
 			fmt.Println("cache [n|off|stats] | verify <path> | props | topology | reshard <K> |")
-			fmt.Println("faults [p|off] | bill | quit")
+			fmt.Println("faults [p|off] | tenants [stats|demo] | bill | quit")
 			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
 			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
 		case "ls":
@@ -353,6 +384,86 @@ func main() {
 				env.InstallFaults(sim.UniformPlan(p, 0.5))
 				chaosProb = p
 				fmt.Printf("armed: every request faults with probability %.1f%%; the resilient client retries\n", p*100)
+			}
+		case "tenants":
+			switch arg {
+			case "", "stats":
+				u := env.Meter().Usage()
+				if len(u.OpsByTenant) == 0 {
+					fmt.Println("no tenant traffic yet; try: tenants demo")
+					continue
+				}
+				ids := make([]string, 0, len(u.OpsByTenant))
+				for id := range u.OpsByTenant {
+					ids = append(ids, id)
+				}
+				sort.Strings(ids)
+				epoch := dep.WAL.Directory().Active()
+				fmt.Printf("%-12s %6s %18s %9s %7s %5s\n", "tenant", "band", "home wal shard", "admitted", "queued", "shed")
+				for _, id := range ids {
+					ops := u.OpsByTenant[id]
+					band := frontdoor.BandFor(id)
+					fmt.Printf("%-12s %6d %18d %9d %7d %5d\n",
+						id, band, epoch.RouteHash(band.Start()), ops.Admitted, ops.Queued, ops.Shed)
+				}
+				if door != nil {
+					fmt.Println("tenant resilience:", door.Resilience().Stats())
+				}
+			case "demo":
+				p3, ok := proto.(*core.P3)
+				if !ok {
+					fmt.Println("tenants demo needs the P3 protocol")
+					continue
+				}
+				if door == nil {
+					door = frontdoor.New(dep, p3, frontdoor.Config{})
+				}
+				// A polite tenant inside its quota and a greedy one bursting
+				// an order of magnitude past its own: most of the greedy
+				// burst is shed with typed backpressure, without the polite
+				// tenant noticing.
+				polite := door.Tenant("polite", frontdoor.Quota{Rate: 100, Burst: 16})
+				greedy := door.Tenant("greedy", frontdoor.Quota{Rate: 0.5, Burst: 1, MaxQueue: 2, Priority: frontdoor.PriorityLow})
+				for i := 0; i < 6; i++ {
+					obj, bundles := demoTxn(polite, i)
+					if err := polite.Commit(obj, bundles); err != nil {
+						fmt.Println("polite commit:", err)
+					}
+				}
+				// The greedy burst needs genuinely concurrent arrivals, which
+				// only a live clock provides (on the manual clock goroutines
+				// serialize and every commit's virtual sleeps outrun the
+				// token interval); run it briefly scaled, then freeze again.
+				env.Clock().SetScale(50)
+				var wg sync.WaitGroup
+				var shed atomic.Int64
+				for i := 0; i < 8; i++ {
+					i := i
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						obj, bundles := demoTxn(greedy, i)
+						if err := greedy.Commit(obj, bundles); err != nil {
+							var oc *frontdoor.OverCapacityError
+							if errors.As(err, &oc) {
+								shed.Add(1)
+								return
+							}
+							fmt.Println("greedy commit:", err)
+						}
+					}()
+				}
+				wg.Wait()
+				env.Clock().SetScale(0)
+				if err := p3.Settle(); err != nil {
+					fmt.Println("settle:", err)
+					continue
+				}
+				fmt.Printf("committed 6 polite + %d greedy transactions; %d greedy sheds got ErrOverCapacity with a retry-after hint\n",
+					8-shed.Load(), shed.Load())
+				fmt.Println(`now try: tenants stats`)
+			default:
+				fmt.Println("usage: tenants [stats|demo]")
 			}
 		case "bill":
 			u := env.Meter().Usage()

@@ -1,0 +1,99 @@
+// Multi-tenant front door: a compliant tenant commits open-loop within its
+// quota while an abusive co-tenant replays a closed-loop retry storm on the
+// same fabric, under a transient-fault plan. Three runs tell the story:
+//
+//   - solo: the compliant tenant alone — its baseline p99 and goodput.
+//   - shared: the storm rages, but the front door's per-tenant token-bucket
+//     admission sheds it with typed backpressure (ErrOverCapacity plus a
+//     retry-after hint) before it can monopolise the shared request-rate
+//     gates; the compliant tenant barely notices.
+//   - no-isolation: the same storm with the front door bypassed; the abuser
+//     saturates the shared S3 write gate and the compliant tenant's latency
+//     and goodput visibly blow through the bound.
+//
+// Every run verifies the fabric afterwards: zero lost or duplicated items,
+// and the compliant tenant's read-back provenance digest is byte-identical
+// whether or not a storm was raging next door.
+//
+//	go run ./examples/multi-tenant -txns 80 -storm 480 -faults 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"passcloud/internal/bench"
+)
+
+func main() {
+	txns := flag.Int("txns", 80, "compliant tenant's transactions")
+	storm := flag.Int("storm", 480, "abusive tenant's closed-loop storm connections")
+	faults := flag.Float64("faults", 0.05, "per-request transient-fault probability (0..1)")
+	scale := flag.Float64("scale", 0, "live-clock time scale (0 = harness default)")
+	flag.Parse()
+
+	base := bench.TenantIsolationConfig{
+		Seed:          41,
+		Txns:          *txns,
+		BundlesPerTxn: 5,
+		Workers:       4,
+		ClientConns:   16,
+		OfferedRate:   30,
+		Scale:         *scale,
+		K:             2,
+		FaultProb:     *faults,
+		ApplyProb:     0.5,
+		DupProb:       0.02,
+		AbuserConns:   *storm,
+		AbuserTxns:    6,
+		Isolation:     true,
+	}
+
+	solo := run("solo", base)
+
+	shared := base
+	shared.Abuser = true
+	sh := run("shared", shared)
+
+	control := shared
+	control.Isolation = false
+	ctl := run("no-isolation", control)
+
+	fmt.Println()
+	fmt.Println("run           p99 commit      goodput   abuser admitted/shed")
+	row := func(name string, r bench.TenantIsolationRun) {
+		fmt.Printf("%-12s  %7.0fms %5.2fx  %5.1f ev/s %5.2fx  %6d / %d\n",
+			name, r.CommitP99Ms, r.CommitP99Ms/solo.CommitP99Ms,
+			r.Goodput, r.Goodput/solo.Goodput,
+			r.AbuserAdmitted, r.AbuserShed)
+	}
+	row("solo", solo)
+	row("shared", sh)
+	row("no-isolation", ctl)
+
+	if sh.ProvDigest != solo.ProvDigest {
+		log.Fatalf("compliant provenance diverged under the storm:\n  solo   %s\n  shared %s",
+			solo.ProvDigest, sh.ProvDigest)
+	}
+	fmt.Printf("\ncompliant provenance byte-identical solo vs shared: %s…\n", solo.ProvDigest[:16])
+	fmt.Printf("with the front door the storm cost the compliant tenant %.0f%% p99 and %.0f%% goodput;\n",
+		100*(sh.CommitP99Ms/solo.CommitP99Ms-1), 100*(1-sh.Goodput/solo.Goodput))
+	fmt.Printf("without it, %.1fx p99 and %.0f%% of goodput gone\n",
+		ctl.CommitP99Ms/solo.CommitP99Ms, 100*(1-ctl.Goodput/solo.Goodput))
+}
+
+func run(name string, cfg bench.TenantIsolationConfig) bench.TenantIsolationRun {
+	fmt.Printf("running %s ...\n", name)
+	r, err := bench.TenantIsolation(cfg)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if r.CommitErrors != 0 {
+		log.Fatalf("%s: lost %d compliant commits: %s", name, r.CommitErrors, r.FirstError)
+	}
+	if r.Mode != "no_isolation" && !r.Verified {
+		log.Fatalf("%s: fabric did not verify", name)
+	}
+	return r
+}

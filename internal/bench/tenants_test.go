@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+// tenantIsolationBase is the shared configuration of the isolation gates: a
+// compliant tenant committing open-loop under a 5% ambiguous-fault plan on
+// a K=2 fabric, with the storm parameters the shared and negative-control
+// runs add on top.
+func tenantIsolationBase() TenantIsolationConfig {
+	return TenantIsolationConfig{
+		Seed:          33,
+		Txns:          120,
+		BundlesPerTxn: 5, // 600 events
+		Workers:       4,
+		ClientConns:   16,
+		OfferedRate:   30,
+		K:             2,
+		FaultProb:     0.05,
+		ApplyProb:     0.5,
+		DupProb:       0.02,
+		AbuserConns:   480,
+		AbuserTxns:    6,
+		Isolation:     true,
+	}
+}
+
+// The solo baseline is identical in both gate tests (same seed, no storm),
+// so compute it once.
+var (
+	soloOnce sync.Once
+	soloRun  TenantIsolationRun
+	soloErr  error
+)
+
+func soloBaseline(t *testing.T) TenantIsolationRun {
+	t.Helper()
+	soloOnce.Do(func() {
+		cfg := tenantIsolationBase()
+		cfg.Abuser = false
+		soloRun, soloErr = TenantIsolation(cfg)
+	})
+	if soloErr != nil {
+		t.Fatalf("solo baseline: %v", soloErr)
+	}
+	if soloRun.CommitErrors != 0 {
+		t.Fatalf("solo baseline lost %d commits: %s", soloRun.CommitErrors, soloRun.FirstError)
+	}
+	if !soloRun.Verified {
+		t.Fatal("solo baseline did not verify")
+	}
+	return soloRun
+}
+
+// TestTenantIsolationGate is the acceptance gate: with the abusive tenant
+// replaying a retry storm under the 5% fault plan, the compliant tenant's
+// p99 commit latency degrades at most 2x and its goodput stays at least
+// 0.8x of its solo baseline, with zero lost or duplicated items and
+// byte-identical read-back provenance.
+func TestTenantIsolationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("isolation gate runs full scaled-time workloads")
+	}
+	solo := soloBaseline(t)
+
+	cfg := tenantIsolationBase()
+	cfg.Abuser = true
+	shared, err := TenantIsolation(cfg)
+	if err != nil {
+		t.Fatalf("shared run: %v", err)
+	}
+	t.Logf("solo:   p99=%.1fms goodput=%.1f ev/s", solo.CommitP99Ms, solo.Goodput)
+	t.Logf("shared: p99=%.1fms goodput=%.1f ev/s (abuser: %d attempts, %d admitted, %d shed, %d committed)",
+		shared.CommitP99Ms, shared.Goodput,
+		shared.AbuserAttempts, shared.AbuserAdmitted, shared.AbuserShed, shared.AbuserCommitted)
+
+	if shared.CommitErrors != 0 {
+		t.Fatalf("shared run lost %d compliant commits: %s", shared.CommitErrors, shared.FirstError)
+	}
+	if !shared.Verified {
+		t.Fatal("shared run did not verify")
+	}
+	if shared.AbuserShed == 0 {
+		t.Fatal("the storm was never shed — admission control did not engage")
+	}
+	if ratio := shared.CommitP99Ms / solo.CommitP99Ms; ratio > 2 {
+		t.Fatalf("compliant p99 degraded %.2fx under the storm (%.1fms vs %.1fms), bound is 2x",
+			ratio, shared.CommitP99Ms, solo.CommitP99Ms)
+	}
+	if ratio := shared.Goodput / solo.Goodput; ratio < 0.8 {
+		t.Fatalf("compliant goodput fell to %.2fx under the storm (%.1f vs %.1f ev/s), bound is 0.8x",
+			ratio, shared.Goodput, solo.Goodput)
+	}
+	if shared.ProvDigest != solo.ProvDigest {
+		t.Fatalf("compliant provenance diverged under the storm: %s vs %s",
+			shared.ProvDigest, solo.ProvDigest)
+	}
+}
+
+// TestTenantIsolationNegativeControl proves the bound is held by the
+// machinery, not by slack in the workload: the identical storm with
+// isolation disabled must visibly violate the latency or goodput bound.
+func TestTenantIsolationNegativeControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("isolation gate runs full scaled-time workloads")
+	}
+	solo := soloBaseline(t)
+
+	cfg := tenantIsolationBase()
+	cfg.Abuser = true
+	cfg.Isolation = false
+	control, err := TenantIsolation(cfg)
+	if err != nil {
+		t.Fatalf("negative control: %v", err)
+	}
+	p99Ratio := control.CommitP99Ms / solo.CommitP99Ms
+	goodputRatio := control.Goodput / solo.Goodput
+	t.Logf("no_isolation: p99=%.1fms (%.2fx) goodput=%.1f ev/s (%.2fx), abuser committed %d",
+		control.CommitP99Ms, p99Ratio, control.Goodput, goodputRatio, control.AbuserCommitted)
+	if control.AbuserShed != 0 || control.AbuserAdmitted != 0 {
+		t.Fatalf("negative control still metered admission: admitted=%d shed=%d",
+			control.AbuserAdmitted, control.AbuserShed)
+	}
+	if p99Ratio <= 2 && goodputRatio >= 0.8 {
+		t.Fatalf("negative control stayed inside the bound (p99 %.2fx, goodput %.2fx) — the gate is not testing the front door",
+			p99Ratio, goodputRatio)
+	}
+}

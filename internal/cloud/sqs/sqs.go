@@ -318,6 +318,87 @@ func (q *Queue) sendBatchOnce(bodies [][]byte, token string, payload int) ([]str
 	return ids, ferr
 }
 
+// BatchEntry is one entry of SendMessageBatchEntries: a body plus its own
+// idempotency token. An empty token entry enqueues unconditionally.
+type BatchEntry struct {
+	Body  []byte
+	Token string
+}
+
+// SendMessageBatchEntries enqueues up to MaxBatchEntries entries in one
+// service request, deduplicating per entry: an entry whose token the queue
+// has already applied returns the original message id without enqueueing
+// again, while the fresh entries of the same batch are enqueued normally.
+// This is what makes combined batches retry-safe — a front-door write
+// combiner packs chunks of several transactions into one batch, and a
+// retried batch (after an ambiguous fault) or a differently-composed retry
+// batch never double-enqueues the entries that already landed, which the
+// whole-batch token of SendMessageBatchIdem cannot express.
+func (q *Queue) SendMessageBatchEntries(entries []BatchEntry) ([]string, error) {
+	if len(entries) > MaxBatchEntries {
+		return nil, fmt.Errorf("%w (%d entries)", ErrBatchTooLarge, len(entries))
+	}
+	payload := 0
+	for _, e := range entries {
+		if len(e.Body) > MaxMessageSize {
+			return nil, fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, len(e.Body))
+		}
+		payload += len(e.Body)
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	var ids []string
+	err := q.retry(func() error {
+		var err error
+		ids, err = q.sendBatchEntriesOnce(entries, payload)
+		return err
+	})
+	return ids, err
+}
+
+// sendBatchEntriesOnce is one service attempt of a per-entry-token batch
+// send (see sendBatchOnce); dedup is checked and recorded entry by entry.
+func (q *Queue) sendBatchEntriesOnce(entries []BatchEntry, payload int) ([]string, error) {
+	ferr, applied := q.faulted(sim.OpSQSSendBatch, "sqs.SendMessageBatch", true)
+	if ferr != nil && !applied {
+		return nil, ferr
+	}
+	q.env.ExecLane(sim.OpSQSSendBatch, payload, q.lane)
+	if extra := q.env.Model().SQSBatchEntryLatency(len(entries)); extra > 0 {
+		q.env.Clock().Sleep(extra)
+	}
+	q.count("sqs.SendMessageBatch", int64(payload))
+	now := q.env.Now()
+	q.mu.Lock()
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if prev, ok := q.dedupLocked(e.Token); ok {
+			ids = append(ids, prev[0])
+			continue
+		}
+		q.seq++
+		id := fmt.Sprintf("%s-%08d", q.name, q.seq)
+		m := &message{
+			id:        id,
+			body:      append([]byte(nil), e.Body...),
+			sentAt:    now,
+			visibleAt: now + q.env.StalenessWindow(),
+		}
+		q.msgs = append(q.msgs, m)
+		if q.env.Config().DupProb > 0 && q.env.Rand().Bool(q.env.Config().DupProb) {
+			// At-least-once delivery applies per entry, exactly as it does
+			// for entry-by-entry sends.
+			dup := *m
+			q.msgs = append(q.msgs, &dup)
+		}
+		q.rememberLocked(e.Token, []string{id}, now)
+		ids = append(ids, id)
+	}
+	q.mu.Unlock()
+	return ids, ferr
+}
+
 // ReceiveMessage returns up to max (at most 10) visible messages, making
 // them invisible for the visibility timeout. An empty slice means the queue
 // had nothing visible — the caller should poll again.

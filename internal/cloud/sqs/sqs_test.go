@@ -357,3 +357,51 @@ func TestBatchIsCheaperThanSingles(t *testing.T) {
 		t.Fatalf("billed requests: batch=%d singles=%d", bu, su)
 	}
 }
+
+func TestSendMessageBatchEntriesDedupsPerEntry(t *testing.T) {
+	q := strictQueue(t)
+	first := []BatchEntry{
+		{Body: []byte("a"), Token: "txn1/0"},
+		{Body: []byte("b"), Token: "txn1/1"},
+	}
+	ids, err := q.SendMessageBatchEntries(first)
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("first batch: ids=%v err=%v", ids, err)
+	}
+
+	// A retry batch with different composition: one already-applied entry
+	// plus a fresh one. The applied entry returns its original id without
+	// enqueueing again; the fresh entry lands normally.
+	retry := []BatchEntry{
+		{Body: []byte("b"), Token: "txn1/1"},
+		{Body: []byte("c"), Token: "txn2/0"},
+	}
+	ids2, err := q.SendMessageBatchEntries(retry)
+	if err != nil || len(ids2) != 2 {
+		t.Fatalf("retry batch: ids=%v err=%v", ids2, err)
+	}
+	if ids2[0] != ids[1] {
+		t.Fatalf("deduped entry id = %s, want original %s", ids2[0], ids[1])
+	}
+	if q.Len() != 3 {
+		t.Fatalf("queue length = %d, want 3 (a, b, c each once)", q.Len())
+	}
+
+	// Token-less entries enqueue unconditionally.
+	if _, err := q.SendMessageBatchEntries([]BatchEntry{{Body: []byte("x")}, {Body: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("queue length = %d, want 5", q.Len())
+	}
+
+	// Limits match the other batch calls.
+	over := make([]BatchEntry, MaxBatchEntries+1)
+	if _, err := q.SendMessageBatchEntries(over); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized batch err = %v", err)
+	}
+	big := []BatchEntry{{Body: make([]byte, MaxMessageSize+1), Token: "t"}}
+	if _, err := q.SendMessageBatchEntries(big); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("oversized entry err = %v", err)
+	}
+}

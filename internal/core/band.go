@@ -1,0 +1,65 @@
+package core
+
+import (
+	"passcloud/internal/sim"
+	"passcloud/internal/uuid"
+)
+
+// MintBandUUID draws v4 UUIDs from src until one's canonical string form
+// routes into band, varying only the trailing two random bytes of the first
+// draw. This is how tenant identity folds into placement (see
+// internal/frontdoor): a tenant's front door mints every object uuid inside
+// the tenant's band, so the tenant's provenance items and WAL traffic
+// co-shard — and migrate together across reshards — while the routing key
+// stays the uuid itself and every uuid-keyed mechanism (routed reads, the
+// placement audit, scatter-gather merge) works unchanged.
+//
+// The search is cheap and bounded: the band is the top byte of
+// sim.Hash32(u.String()), and the last two uuid bytes render as exactly the
+// final four hex characters, so the hash over the 32-character prefix is
+// computed once and only the 4-character tail is folded per candidate
+// (~256 candidates expected, ~1µs total). The two tail bytes range over all
+// 65536 combinations from a random starting offset; the chance that no
+// combination lands in the band is negligible (≈e^-256), and in that case
+// the last candidate is returned rather than looping forever.
+func MintBandUUID(src uuid.Source, band sim.Band) uuid.UUID {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	u := uuid.New(src)
+	s := u.String()
+	if sim.Band(sim.Hash32(s)>>24) == band {
+		return u
+	}
+	// FNV-1a over the 32-character prefix (everything but the last two
+	// bytes' hex rendering), continued per candidate over the 4-char tail.
+	prefix := uint32(offset32)
+	for i := 0; i < len(s)-4; i++ {
+		prefix ^= uint32(s[i])
+		prefix *= prime32
+	}
+	const hexdigits = "0123456789abcdef"
+	start := src.Bytes(2)
+	off := uint16(start[0])<<8 | uint16(start[1])
+	for i := 0; i < 1<<16; i++ {
+		c := off + uint16(i)
+		v, w := byte(c>>8), byte(c)
+		h := prefix
+		for _, d := range [4]byte{
+			hexdigits[v>>4], hexdigits[v&0xf],
+			hexdigits[w>>4], hexdigits[w&0xf],
+		} {
+			h ^= uint32(d)
+			h *= prime32
+		}
+		if sim.Band(h>>24) == band {
+			u[14], u[15] = v, w
+			return u
+		}
+		if i == 1<<16-1 {
+			u[14], u[15] = v, w
+		}
+	}
+	return u
+}

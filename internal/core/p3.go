@@ -207,8 +207,20 @@ func TmpKey(txn uuid.UUID) string { return TmpPrefix + txn.String() }
 
 // Commit implements the log phase.
 func (p *P3) Commit(obj FileObject, bundles []prov.Bundle) error {
-	txn := uuid.New(p.dep.Env.Rand())
+	return p.commitTxn(uuid.New(p.dep.Env.Rand()), obj, bundles)
+}
 
+// CommitInBand is Commit with the transaction uuid minted inside band, so
+// the transaction's WAL packets land on the band's home shard. The
+// multi-tenant front door commits through this: with a tenant's object
+// uuids minted in the same band (MintBandUUID), the tenant's items and WAL
+// traffic co-shard and migrate together across reshards.
+func (p *P3) CommitInBand(band sim.Band, obj FileObject, bundles []prov.Bundle) error {
+	return p.commitTxn(MintBandUUID(p.dep.Env.Rand(), band), obj, bundles)
+}
+
+// commitTxn is the log phase for an already-minted transaction uuid.
+func (p *P3) commitTxn(txn uuid.UUID, obj FileObject, bundles []prov.Bundle) error {
 	// 1. Data to a temporary object. Objects with no data (pure
 	// provenance flushes) skip this step.
 	tmpKey := ""
@@ -282,6 +294,64 @@ func (p *P3) sendWAL(wal *sqs.Queue, txn uuid.UUID, msgs [][]byte) error {
 		})
 	}
 	return par.Run(p.opts.ProvConns, tasks)
+}
+
+// PreparedTxn is a logged-but-unsent transaction: the temporary object is
+// stored and the WAL packets are encoded as per-entry idempotent batch
+// entries, but nothing has reached the queue. The front door's write
+// combiner uses this to pack the packets of several small transactions into
+// full SendMessageBatch calls, and to retry a failed flush with the same
+// entries — the per-entry tokens make a re-send (even inside a
+// differently-composed batch) exactly-once. Release must be called once the
+// entries are shipped (or abandoned): it drops the reshard write barrier
+// that keeps a shrinking fabric from retiring the home queue mid-send.
+type PreparedTxn struct {
+	Txn     uuid.UUID
+	Queue   *sqs.Queue
+	Entries []sqs.BatchEntry
+
+	release func()
+}
+
+// Release drops the transaction's reshard write barrier; it is idempotent.
+func (t *PreparedTxn) Release() {
+	if t.release != nil {
+		t.release()
+		t.release = nil
+	}
+}
+
+// PrepareCommit runs the log phase up to, but not including, the WAL send:
+// it mints the transaction uuid inside band, stores the temporary object and
+// returns the encoded WAL entries bound to the transaction's home queue. The
+// caller ships the entries (sqs.Queue.SendMessageBatchEntries on Queue,
+// possibly combined with other transactions' entries) and then Releases the
+// prepared transaction. An abandoned prepared transaction is harmless: the
+// cleaner removes its temporary object, exactly as for a crashed client.
+func (p *P3) PrepareCommit(band sim.Band, obj FileObject, bundles []prov.Bundle) (*PreparedTxn, error) {
+	txn := MintBandUUID(p.dep.Env.Rand(), band)
+	tmpKey := ""
+	if obj.Path != "" {
+		tmpKey = TmpKey(txn)
+		if err := p.dep.Store.PutSized(tmpKey, obj.Size, nil); err != nil {
+			return nil, err
+		}
+	}
+	hdr := walTxn{
+		Txn:      txn,
+		TmpKey:   tmpKey,
+		FinalKey: DataKey(obj.Path),
+		Size:     obj.Size,
+		Ref:      obj.Ref,
+		Digest:   obj.Digest,
+	}
+	msgs := encodeWAL(txn, hdr, prov.EncodeBundles(bundles), p.chunkSize)
+	wal, release := p.dep.WAL.HomeQueue(txn.String())
+	entries := make([]sqs.BatchEntry, len(msgs))
+	for i, m := range msgs {
+		entries[i] = sqs.BatchEntry{Body: m, Token: fmt.Sprintf("%s/%d", txn, i)}
+	}
+	return &PreparedTxn{Txn: txn, Queue: wal, Entries: entries, release: release}, nil
 }
 
 // maxAssemblyBudget caps how many ReceiveMessage calls one batched commit

@@ -1,0 +1,85 @@
+package frontdoor
+
+import (
+	"sync"
+	"time"
+
+	"passcloud/internal/cloud/sqs"
+	"passcloud/internal/core"
+	"passcloud/internal/sim"
+)
+
+// combiner packs the WAL entries of concurrent small commits bound for the
+// same home queue into full SendMessageBatch calls. The first caller to
+// open a queue's batch becomes its leader: it holds the batch open for the
+// combine window (virtual time), then ships everything that accumulated and
+// wakes the followers with the shared result. Entries carry their own
+// idempotency tokens, so a failed flush retried by each participant — in
+// whatever new combination — never double-enqueues what already landed.
+type combiner struct {
+	env    *sim.Env
+	window time.Duration
+
+	mu   sync.Mutex
+	open map[string]*combineBatch
+}
+
+// combineBatch is one open batch for one home queue.
+type combineBatch struct {
+	queue   *sqs.Queue
+	entries []sqs.BatchEntry
+	done    chan struct{}
+	err     error
+}
+
+// newCombiner returns a combiner; window <= 0 disables combining.
+func newCombiner(env *sim.Env, window time.Duration) *combiner {
+	return &combiner{env: env, window: window, open: make(map[string]*combineBatch)}
+}
+
+// send ships a prepared transaction's entries, combined with whatever other
+// entries open against the same queue within the window. All participants
+// of one flush share its outcome.
+func (c *combiner) send(pt *core.PreparedTxn) error {
+	if c.window <= 0 {
+		return shipEntries(pt.Queue, pt.Entries)
+	}
+	key := pt.Queue.Name()
+	c.mu.Lock()
+	b := c.open[key]
+	lead := b == nil
+	if lead {
+		b = &combineBatch{queue: pt.Queue, done: make(chan struct{})}
+		c.open[key] = b
+	}
+	b.entries = append(b.entries, pt.Entries...)
+	c.mu.Unlock()
+
+	if !lead {
+		<-b.done
+		return b.err
+	}
+	c.env.Clock().Sleep(c.window)
+	c.mu.Lock()
+	delete(c.open, key)
+	entries := b.entries
+	c.mu.Unlock()
+	b.err = shipEntries(b.queue, entries)
+	close(b.done)
+	return b.err
+}
+
+// shipEntries sends entries in ≤10-entry batch calls, stopping at the first
+// failure (participants retry the whole flush; dedup keeps it exactly-once).
+func shipEntries(q *sqs.Queue, entries []sqs.BatchEntry) error {
+	for start := 0; start < len(entries); start += sqs.MaxBatchEntries {
+		end := start + sqs.MaxBatchEntries
+		if end > len(entries) {
+			end = len(entries)
+		}
+		if _, err := q.SendMessageBatchEntries(entries[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

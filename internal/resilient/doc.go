@@ -23,12 +23,17 @@
 //     retry-storming the service.
 //   - A circuit breaker: a run of consecutive transient failures opens the
 //     endpoint for BreakerCooldown; calls fail fast (ErrCircuitOpen) until
-//     a probe succeeds.
-//   - Request hedging (Hedged): on a live clock, a scatter-gather shard
-//     drain that has not returned within HedgeAfter gets one duplicate
-//     attempt, first result wins — idempotent reads only. Under a manual
-//     clock hedging is disabled, because every sleeper advances the shared
-//     logical clock.
+//     a probe succeeds. Half-open elects exactly one probe — concurrent
+//     callers keep failing fast until it resolves, so a thundering herd
+//     cannot re-storm a recovering endpoint; a failed probe re-opens the
+//     breaker for another cooldown.
+//   - Request hedging (Hedged): a scatter-gather shard drain that has not
+//     returned within HedgeAfter gets one duplicate attempt, first result
+//     (by virtual completion time) wins — idempotent reads only. On a live
+//     clock the attempts genuinely race; under a manual clock the race is
+//     emulated sequentially (concurrent sleepers would add their delays to
+//     the shared logical clock), so hedge decisions and counters stay
+//     deterministic in chaos runs.
 //
 // Exactly-once composition: retried writes are safe because provenance
 // items and store objects are immutable full-replaces, and retried WAL

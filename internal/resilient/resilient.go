@@ -46,10 +46,13 @@ type Policy struct {
 	BreakerCooldown time.Duration
 	// HedgeAfter is the straggler threshold of Hedged: if the primary
 	// attempt has not returned after this much virtual time, an identical
-	// hedge attempt is launched and the first result wins. Hedging only
-	// engages on a live clock — under a manual clock every sleeper advances
-	// the shared logical clock, so a hedge watchdog would corrupt timing.
-	// Negative disables hedging.
+	// hedge attempt is launched and the first result wins. On a live clock
+	// both attempts genuinely race; under a manual clock (where every
+	// sleeper advances the shared logical clock, so a concurrent watchdog
+	// would corrupt timing) the race is emulated sequentially and the
+	// winner picked by virtual completion time, so hedge decisions and
+	// counters stay deterministic and meter-visible. Negative disables
+	// hedging.
 	HedgeAfter time.Duration
 }
 
@@ -103,6 +106,7 @@ type endpointState struct {
 	budget    float64
 	failRun   int           // consecutive transient failures (breaker input)
 	openUntil time.Duration // breaker open until this virtual time; 0 = closed
+	probing   bool          // a half-open probe call is in flight
 
 	attempts      int64
 	retries       int64
@@ -170,7 +174,11 @@ func (c *Client) state(endpoint string) *endpointState {
 // non-retryable error, exhausts MaxAttempts, or runs out of retry budget.
 func (c *Client) Do(endpoint string, op func() error) error {
 	// Breaker check up front: while open, fail fast without a service call.
+	// After the cooldown exactly one caller is elected the half-open probe;
+	// concurrent callers keep failing fast until the probe resolves, so a
+	// thundering herd cannot re-storm a recovering endpoint.
 	now := c.env.Now()
+	probe := false
 	c.mu.Lock()
 	st := c.state(endpoint)
 	if st.openUntil > 0 {
@@ -179,8 +187,14 @@ func (c *Client) Do(endpoint string, op func() error) error {
 			c.mu.Unlock()
 			return fmt.Errorf("%w: %s until t=%s", ErrCircuitOpen, endpoint, st.openUntil)
 		}
-		st.openUntil = 0 // half-open: let this call probe the endpoint
+		if st.probing {
+			st.breakerFast++
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s (half-open probe in flight)", ErrCircuitOpen, endpoint)
+		}
+		st.probing = true
 		st.failRun = 0
+		probe = true
 	}
 	c.mu.Unlock()
 
@@ -194,8 +208,13 @@ func (c *Client) Do(endpoint string, op func() error) error {
 		c.mu.Lock()
 		if err == nil || !sim.IsTransient(err) {
 			// Success and semantic failures both close the failure run and
-			// slowly refill the retry budget.
+			// slowly refill the retry budget; a successful probe closes the
+			// breaker.
 			st.failRun = 0
+			if probe {
+				st.probing = false
+				st.openUntil = 0
+			}
 			if st.budget < c.pol.RetryBudget {
 				st.budget += c.pol.BudgetRefill
 				if st.budget > c.pol.RetryBudget {
@@ -204,6 +223,15 @@ func (c *Client) Do(endpoint string, op func() error) error {
 			}
 			c.mu.Unlock()
 			return err
+		}
+		if probe {
+			// A probe gets exactly one attempt: a transient failure re-opens
+			// the breaker for another cooldown instead of retrying.
+			st.probing = false
+			st.openUntil = c.env.Now() + c.pol.BreakerCooldown
+			st.breakerOpens++
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %s: %w", ErrCircuitOpen, endpoint, err)
 		}
 		st.failRun++
 		if c.pol.BreakerThreshold > 0 && st.failRun >= c.pol.BreakerThreshold {
@@ -245,16 +273,28 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return time.Duration(c.rnd.Float64() * lim)
 }
 
-// Hedged runs fn and, on a live clock, launches one identical hedge attempt
-// if the primary has not returned within HedgeAfter of virtual time; the
-// first result wins. It exists for the scatter-gather read path: per-shard
-// drains are idempotent reads, so a straggling or fault-backed-off shard is
-// cheaply overtaken by a fresh attempt instead of gating the whole fan-out
-// on the slowest shard's retries. Under a manual clock (or with hedging
-// disabled) it is exactly fn().
+// Hedged runs fn and launches one identical hedge attempt if the primary has
+// not returned within HedgeAfter of virtual time; the first result (by
+// virtual completion time) wins. It exists for the scatter-gather read path:
+// per-shard drains are idempotent reads, so a straggling or fault-backed-off
+// shard is cheaply overtaken by a fresh attempt instead of gating the whole
+// fan-out on the slowest shard's retries.
+//
+// On a live clock both attempts genuinely race. Under a manual clock the two
+// attempts cannot overlap (concurrent sleepers would add their delays to the
+// shared logical clock), so the race is emulated sequentially: the primary
+// runs to completion, and only if its virtual duration exceeded HedgeAfter is
+// the hedge run and the winner picked by virtual completion time. The manual
+// clock over-advances relative to a true race — manual mode asserts behaviour
+// and counters, not latency — but hedge decisions and counters are
+// deterministic. With hedging disabled (or a nil client) Hedged is exactly
+// fn().
 func Hedged[T any](c *Client, endpoint string, fn func() (T, error)) (T, error) {
-	if c == nil || c.pol.HedgeAfter <= 0 || !c.env.Clock().Live() {
+	if c == nil || c.pol.HedgeAfter <= 0 {
 		return fn()
+	}
+	if !c.env.Clock().Live() {
+		return hedgedManual(c, endpoint, fn)
 	}
 	type result struct {
 		v   T
@@ -282,6 +322,29 @@ func Hedged[T any](c *Client, endpoint string, fn func() (T, error)) (T, error) 
 	}()
 	r := <-results
 	return r.v, r.err
+}
+
+// hedgedManual emulates the hedge race deterministically on a manual clock:
+// run the primary, and if it took longer than HedgeAfter of virtual time,
+// run the hedge too and return whichever finished first in virtual time
+// (the hedge's completion time includes the HedgeAfter launch delay).
+func hedgedManual[T any](c *Client, endpoint string, fn func() (T, error)) (T, error) {
+	t0 := c.env.Now()
+	v, err := fn()
+	primDur := c.env.Now() - t0
+	if primDur <= c.pol.HedgeAfter {
+		return v, err
+	}
+	c.mu.Lock()
+	c.state(endpoint).hedges++
+	c.mu.Unlock()
+	t1 := c.env.Now()
+	hv, herr := fn()
+	hedgeDur := c.env.Now() - t1
+	if c.pol.HedgeAfter+hedgeDur < primDur {
+		return hv, herr
+	}
+	return v, err
 }
 
 // EndpointStats is the per-endpoint counter snapshot.

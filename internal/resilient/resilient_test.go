@@ -146,8 +146,9 @@ func TestCircuitBreaker(t *testing.T) {
 	}
 }
 
-// TestHedgedManualPassthrough pins that hedging is inert under a manual
-// clock and with a nil client: exactly one attempt runs.
+// TestHedgedManualPassthrough pins that under a manual clock a prompt
+// primary (within HedgeAfter of virtual time) runs exactly once, and that a
+// nil client is a pure passthrough.
 func TestHedgedManualPassthrough(t *testing.T) {
 	c := manualClient(Policy{})
 	calls := 0
@@ -158,6 +159,138 @@ func TestHedgedManualPassthrough(t *testing.T) {
 	v, err = Hedged[int](nil, "ep", func() (int, error) { calls++; return 9, nil })
 	if v != 9 || err != nil || calls != 2 {
 		t.Fatalf("nil-client Hedged: v=%d err=%v calls=%d", v, err, calls)
+	}
+}
+
+// TestHedgedManualStraggler pins the deterministic manual-clock hedge
+// emulation: a primary that stalls past HedgeAfter triggers a hedge attempt,
+// and the hedge wins when its virtual completion time (launch delay
+// included) beats the primary's.
+func TestHedgedManualStraggler(t *testing.T) {
+	c := manualClient(Policy{HedgeAfter: 50 * time.Millisecond})
+	calls := 0
+	v, err := Hedged(c, "ep", func() (string, error) {
+		calls++
+		if calls == 1 {
+			c.Env().Clock().Sleep(5 * time.Second) // straggling primary
+			return "slow", nil
+		}
+		c.Env().Clock().Sleep(10 * time.Millisecond)
+		return "fast", nil
+	})
+	if err != nil || v != "fast" {
+		t.Fatalf("Hedged = %q, %v; want the hedge's result", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("op ran %d times, want primary + hedge", calls)
+	}
+	if st := c.Stats().Endpoints["ep"]; st.Hedges != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge", st)
+	}
+
+	// A hedge slower than the remaining primary lead does not win: primary
+	// takes 100ms, hedge launches at 50ms and takes 80ms (finishing at a
+	// virtual 130ms), so the primary's result stands.
+	calls = 0
+	v, err = Hedged(c, "ep", func() (string, error) {
+		calls++
+		if calls == 1 {
+			c.Env().Clock().Sleep(100 * time.Millisecond)
+			return "primary", nil
+		}
+		c.Env().Clock().Sleep(80 * time.Millisecond)
+		return "hedge", nil
+	})
+	if err != nil || v != "primary" || calls != 2 {
+		t.Fatalf("Hedged = %q, %v after %d calls; want the primary's result", v, err, calls)
+	}
+}
+
+// TestCircuitBreakerHalfOpenConcurrentProbes pins, under the race detector,
+// that half-open elects exactly one probe: while the probe call is in
+// flight, every concurrent caller fails fast without touching the service,
+// and the probe's success closes the breaker for everyone.
+func TestCircuitBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	c := manualClient(Policy{MaxAttempts: 1, BreakerThreshold: 2, BreakerCooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		c.Do("ep", func() error { return transientErr() })
+	}
+	if err := c.Do("ep", func() error { return nil }); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker did not open: %v", err)
+	}
+	c.Env().Clock().Advance(2 * time.Second)
+
+	var calls atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	probeDone := make(chan error, 1)
+	go func() {
+		probeDone <- c.Do("ep", func() error {
+			if calls.Add(1) == 1 {
+				close(entered)
+			}
+			<-release
+			return nil
+		})
+	}()
+	<-entered
+
+	// With the probe parked inside the service call, a herd of callers must
+	// all fail fast on ErrCircuitOpen without running their ops.
+	const herd = 10
+	herdErrs := make(chan error, herd)
+	for i := 0; i < herd; i++ {
+		go func() {
+			herdErrs <- c.Do("ep", func() error {
+				calls.Add(1)
+				return nil
+			})
+		}()
+	}
+	for i := 0; i < herd; i++ {
+		if err := <-herdErrs; !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("herd call = %v, want fast ErrCircuitOpen", err)
+		}
+	}
+
+	close(release)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe = %v, want success", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("service saw %d calls during half-open, want only the probe", got)
+	}
+	// The successful probe closed the breaker.
+	if err := c.Do("ep", func() error { return nil }); err != nil {
+		t.Fatalf("post-probe call = %v, want closed breaker", err)
+	}
+	st := c.Stats().Endpoints["ep"]
+	if st.BreakerFast < herd {
+		t.Fatalf("stats = %+v, want >=%d fast-fails", st, herd)
+	}
+}
+
+// TestCircuitBreakerFailedProbeReopens pins that a probe's transient failure
+// re-opens the breaker for another cooldown instead of retrying.
+func TestCircuitBreakerFailedProbeReopens(t *testing.T) {
+	c := manualClient(Policy{MaxAttempts: 3, BreakerThreshold: 2, BreakerCooldown: time.Second})
+	for i := 0; i < 2; i++ {
+		c.Do("ep", func() error { return transientErr() })
+	}
+	c.Env().Clock().Advance(2 * time.Second)
+
+	// The probe fails once: no internal retries, breaker re-opens.
+	calls := 0
+	err := c.Do("ep", func() error { calls++; return transientErr() })
+	if !errors.Is(err, ErrCircuitOpen) || calls != 1 {
+		t.Fatalf("failed probe: err=%v calls=%d, want ErrCircuitOpen after 1 call", err, calls)
+	}
+	if err := c.Do("ep", func() error { calls++; return nil }); !errors.Is(err, ErrCircuitOpen) || calls != 1 {
+		t.Fatalf("breaker did not re-open after failed probe: err=%v calls=%d", err, calls)
+	}
+	c.Env().Clock().Advance(2 * time.Second)
+	if err := c.Do("ep", func() error { return nil }); err != nil {
+		t.Fatalf("second probe = %v, want success", err)
 	}
 }
 

@@ -65,6 +65,17 @@ type Meter struct {
 	opsByEndpoint    map[string]int64
 	faultsTotal      int64
 	faultsByEndpoint map[string]int64
+	opsByTenant      map[string]*TenantOps
+}
+
+// TenantOps counts one tenant's admission outcomes at the front door (see
+// internal/frontdoor): how many commits were admitted, how many of those had
+// to wait in the bounded admission queue first, and how many were shed with
+// backpressure instead of being allowed to overload the fabric.
+type TenantOps struct {
+	Admitted int64 `json:"admitted"` // commits let through (immediately or after queueing)
+	Queued   int64 `json:"queued"`   // admitted commits that waited for a quota token
+	Shed     int64 `json:"shed"`     // commits rejected over capacity (typed backpressure)
 }
 
 // NewMeter returns an empty meter.
@@ -74,6 +85,7 @@ func NewMeter() *Meter {
 		bytesByKind:      make(map[string]int64),
 		opsByEndpoint:    make(map[string]int64),
 		faultsByEndpoint: make(map[string]int64),
+		opsByTenant:      make(map[string]*TenantOps),
 	}
 }
 
@@ -109,6 +121,38 @@ func (m *Meter) CountFault(endpoint string) {
 	m.mu.Lock()
 	m.faultsTotal++
 	m.faultsByEndpoint[endpoint]++
+	m.mu.Unlock()
+}
+
+// tenantLocked returns (creating if needed) tenant's counter record.
+func (m *Meter) tenantLocked(tenant string) *TenantOps {
+	t := m.opsByTenant[tenant]
+	if t == nil {
+		t = &TenantOps{}
+		m.opsByTenant[tenant] = t
+	}
+	return t
+}
+
+// CountTenantAdmitted records one admitted front-door commit for tenant.
+func (m *Meter) CountTenantAdmitted(tenant string) {
+	m.mu.Lock()
+	m.tenantLocked(tenant).Admitted++
+	m.mu.Unlock()
+}
+
+// CountTenantQueued records one commit that waited in tenant's bounded
+// admission queue before being admitted.
+func (m *Meter) CountTenantQueued(tenant string) {
+	m.mu.Lock()
+	m.tenantLocked(tenant).Queued++
+	m.mu.Unlock()
+}
+
+// CountTenantShed records one commit shed with backpressure for tenant.
+func (m *Meter) CountTenantShed(tenant string) {
+	m.mu.Lock()
+	m.tenantLocked(tenant).Shed++
 	m.mu.Unlock()
 }
 
@@ -161,6 +205,9 @@ type Usage struct {
 	// endpoints that saw no faults are absent.
 	Faults           int64
 	FaultsByEndpoint map[string]int64
+	// OpsByTenant counts front-door admission outcomes per tenant; tenants
+	// that never hit a front door are absent.
+	OpsByTenant map[string]TenantOps
 }
 
 // Usage returns a copy of the meter's counters.
@@ -180,6 +227,7 @@ func (m *Meter) Usage() Usage {
 		OpsByEndpoint:    make(map[string]int64, len(m.opsByEndpoint)),
 		Faults:           m.faultsTotal,
 		FaultsByEndpoint: make(map[string]int64, len(m.faultsByEndpoint)),
+		OpsByTenant:      make(map[string]TenantOps, len(m.opsByTenant)),
 	}
 	for c := CostClass(0); c < numCostClasses; c++ {
 		if m.requests[c] != 0 {
@@ -197,6 +245,9 @@ func (m *Meter) Usage() Usage {
 	}
 	for k, v := range m.faultsByEndpoint {
 		u.FaultsByEndpoint[k] = v
+	}
+	for k, v := range m.opsByTenant {
+		u.OpsByTenant[k] = *v
 	}
 	return u
 }
