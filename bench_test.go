@@ -212,6 +212,61 @@ func BenchmarkQueryAPI(b *testing.B) {
 	}
 }
 
+// BenchmarkCoherentReads runs the continuous-ingest commit+query workload
+// with the four reader strategies (uncached, commit-bus-subscribed warm
+// cache, flush-per-round, stale negative control) plus the filter-pushdown
+// comparison over the final corpus, reports the headline numbers, and
+// records everything in BENCH_coherent_reads.json at the repository root.
+func BenchmarkCoherentReads(b *testing.B) {
+	cfg := bench.CoherentReadsConfig{
+		Seed: 23, Rounds: 10, TxnsPerRound: 24, Depth: 6, Workers: 8, DBShards: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		run, err := bench.CoherentReads(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The ≥2x acceptance gate lives in TestCoherentReadsGate; the
+		// benchmark only measures and records, so a regression still gets
+		// written to the JSON instead of aborting the run. Coherent results
+		// are non-negotiable even here.
+		base, sub := run.Modes["uncached"], run.Modes["subscribed"]
+		if sub.Digest != base.Digest {
+			b.Fatalf("subscribed cache diverged: %s vs %s", sub.Digest, base.Digest)
+		}
+		for _, pc := range run.Pushdown {
+			if !pc.Identical {
+				b.Fatalf("pushdown case %s changed the result stream", pc.Name)
+			}
+		}
+		b.ReportMetric(base.SimSeconds, "sim-s-uncached")
+		b.ReportMetric(sub.SimSeconds, "sim-s-subscribed")
+		b.ReportMetric(run.CostRatio("subscribed"), "read-cost-ratio-x")
+		b.ReportMetric(float64(sub.Invalidations), "invalidations")
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkCoherentReads",
+			"command":   "go test -run=- -bench=BenchmarkCoherentReads -benchtime=1x",
+			"run":       run,
+			"read_cost_ratio": map[string]float64{
+				"subscribed": run.CostRatio("subscribed"),
+				"flush":      run.CostRatio("flush"),
+				"stale":      run.CostRatio("stale"),
+			},
+			"results_identical": map[string]bool{
+				"subscribed": sub.Digest == base.Digest,
+				"flush":      run.Modes["flush"].Digest == base.Digest,
+				"stale":      run.Modes["stale"].Digest == base.Digest, // expected false
+			},
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_coherent_reads.json", out, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCommitPipeline replays ≥50k provenance events through P3's
 // commit path on the seed's serial implementation and on the batched
 // pipeline (SQS batch APIs, commit-daemon pool, cross-transaction BatchPut

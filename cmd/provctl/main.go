@@ -14,6 +14,13 @@
 //	query <spec...>      run a composable query spec (see below)
 //	plan <spec...>       show the plan a spec would run, without running it
 //	cache [n|off|stats]  install/drop/inspect the read-through query cache
+//	cache sub|unsub      attach the cache to the commit bus (precise
+//	                     invalidation keeps a warm cache coherent under
+//	                     live ingest) / detach it again
+//	cache bound <dur>    cap how stale an unsubscribed observation may be
+//	                     served (e.g. 30s, 5m; 0 disarms)
+//	pushdown [on|off]    toggle lowering conjunctive filters into SELECTs
+//	                     (on by default; "plan" shows the resulting split)
 //	verify <path>        coupling check (provenance-aware read)
 //	props                probe the Table-1 properties of this protocol
 //	topology             show the fabric topology: epochs, ranges, shard load
@@ -50,6 +57,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"passcloud/internal/bench"
 	"passcloud/internal/core"
@@ -84,6 +92,29 @@ func demoTxn(tn *frontdoor.Tenant, i int) (core.FileObject, []prov.Bundle) {
 
 // printTopology renders both placement directories: epoch ids, hash ranges
 // and per-shard load (items / queued messages).
+// printCoherence renders the cache's coherence substats: how the entries
+// are being kept honest (subscription, epoch flushes, staleness bound) and
+// how often that machinery fired.
+func printCoherence(s query.CacheStats) {
+	mode := "unsubscribed (eventual consistency)"
+	if s.Subscribed {
+		mode = "subscribed (commit-bus invalidation)"
+	}
+	fmt.Printf("  coherence: %s\n", mode)
+	fmt.Printf("  coherent hits %d, invalidations %d, epoch flushes %d\n",
+		s.CoherenceHits, s.Invalidations, s.EpochFlushes)
+	fmt.Printf("  stale serves %d, expired %d, subscription lag %d\n",
+		s.StaleServes, s.Expired, s.SubscriptionLag)
+}
+
+// onOff spells a toggle the way the command language reads it.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
 func printTopology(dep *core.Deployment) {
 	fmt.Printf("topology: %d WAL shard(s) x %d domain shard(s)\n", dep.Topo.WALShards, dep.Topo.DBShards)
 	if c, ok, err := dep.ReadControl(); err == nil && ok {
@@ -194,7 +225,8 @@ func main() {
 		case "help":
 			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
 			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
-			fmt.Println("cache [n|off|stats] | verify <path> | props | topology | reshard <K> |")
+			fmt.Println("cache [n|off|stats|sub|unsub|bound <dur>] | pushdown [on|off] |")
+			fmt.Println("verify <path> | props | topology | reshard <K> |")
 			fmt.Println("faults [p|off] | tenants [stats|demo] | bill | quit")
 			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
 			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
@@ -289,6 +321,7 @@ func main() {
 			if c := eng.Cache(); c != nil {
 				s := c.Stats()
 				fmt.Printf("cache: %d hits, %d misses, %d entries\n", s.Hits, s.Misses, s.Entries)
+				printCoherence(s)
 			}
 		case "cache":
 			switch arg {
@@ -297,12 +330,42 @@ func main() {
 					s := c.Stats()
 					fmt.Printf("cache on: %d hits, %d misses, %d evictions, %d entries\n",
 						s.Hits, s.Misses, s.Evictions, s.Entries)
+					printCoherence(s)
 				} else {
 					fmt.Println("cache off")
 				}
 			case "off":
 				eng.SetCache(nil)
 				fmt.Println("cache off")
+			case "sub":
+				if err := eng.Subscribe(); err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Println("cache subscribed: commits now invalidate exactly the observations they touch")
+			case "unsub":
+				eng.Unsubscribe()
+				fmt.Println("cache unsubscribed: observations revert to eventual consistency")
+			case "bound":
+				if eng.Cache() == nil {
+					fmt.Println("cache off (install one first: cache <n>)")
+					continue
+				}
+				if len(fields) < 3 {
+					fmt.Println("usage: cache bound <duration>   (e.g. 30s, 5m; 0 disarms)")
+					continue
+				}
+				d, err := time.ParseDuration(fields[2])
+				if err != nil || d < 0 {
+					fmt.Println("usage: cache bound <duration>   (e.g. 30s, 5m; 0 disarms)")
+					continue
+				}
+				eng.SetStalenessBound(d)
+				if d == 0 {
+					fmt.Println("staleness bound disarmed")
+				} else {
+					fmt.Printf("staleness bound %s: older unsubscribed observations are dropped on lookup\n", d)
+				}
 			default:
 				n := 0
 				if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
@@ -317,6 +380,19 @@ func main() {
 				if backend == core.BackendS3 {
 					fmt.Println("note: the store backend's plans never consult the cache (only database plans do)")
 				}
+			}
+		case "pushdown":
+			switch arg {
+			case "":
+				fmt.Printf("pushdown %s\n", onOff(eng.Pushdown()))
+			case "on", "off":
+				eng.SetPushdown(arg == "on")
+				fmt.Printf("pushdown %s\n", onOff(eng.Pushdown()))
+				if eng.Cache() != nil {
+					fmt.Println("note: cached plans answer from observations and filter client-side; pushdown applies once the cache is off")
+				}
+			default:
+				fmt.Println("usage: pushdown [on|off]")
 			}
 		case "verify":
 			rep, err := core.VerifiedFetch(dep, backend, arg, 5)

@@ -549,6 +549,7 @@ func (d *Domain) selectPageOnce(q *Query, nextToken string) (SelectPage, error) 
 	if extra := d.env.Model().SelectScanLatency(examined); extra > 0 {
 		d.env.Clock().Sleep(extra)
 	}
+	d.env.Meter().AddItemsExamined(int64(examined))
 	d.count("sdb.Select", int64(bytes))
 	return page, nil
 }

@@ -147,6 +147,61 @@ func (n *Node) eval(it Item) bool {
 	return false
 }
 
+// Matches reports whether the predicate accepts the item — the exported form
+// of eval, for callers that hold items outside a domain (the query layer's
+// filter pushdown evaluates a lowered predicate against narrowed responses)
+// and for equivalence tests.
+func (n *Node) Matches(it Item) bool { return n.eval(it) }
+
+// Attrs returns the distinct attribute names the predicate reads, in
+// first-reference order. ItemNameKey appears when the predicate compares
+// item names. Callers use it to narrow a SELECT's field list to exactly what
+// re-evaluating the predicate client-side needs.
+func (n *Node) Attrs() []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.op == "and" || n.op == "or" {
+			walk(n.left)
+			walk(n.right)
+			return
+		}
+		if !seen[n.attr] {
+			seen[n.attr] = true
+			out = append(out, n.attr)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// String renders the predicate in the SELECT grammar, values re-quoted, so
+// plan descriptions can show exactly what was pushed to the server.
+func (n *Node) String() string {
+	quote := func(v string) string { return "'" + strings.ReplaceAll(v, "'", "''") + "'" }
+	switch n.op {
+	case "and", "or":
+		return "(" + n.left.String() + " " + n.op + " " + n.right.String() + ")"
+	case "in":
+		qs := make([]string, len(n.values))
+		for i, v := range n.values {
+			qs[i] = quote(v)
+		}
+		return n.attr + " in (" + strings.Join(qs, ", ") + ")"
+	}
+	if n.isNull {
+		return n.attr + " is null"
+	}
+	if n.notNull {
+		return n.attr + " is not null"
+	}
+	return n.attr + " " + n.op + " " + quote(n.value)
+}
+
 // itemValues returns every value of attr on it; itemName() yields the name.
 func itemValues(it Item, attr string) []string {
 	if attr == ItemNameKey {

@@ -130,6 +130,14 @@ func (s *DomainSet) ShardForItem(item string) int { return s.Directory().Route(R
 // home shard.
 func (s *DomainSet) ShardForKey(key string) int { return s.Directory().Route(key) }
 
+// HomesForItem returns every shard that may hold the item under the current
+// routing state: the active home first, plus the target-epoch home during a
+// migration's double-write window. Commit notices carry it so subscribers
+// can tell where an invalidated item lives mid-reshard.
+func (s *DomainSet) HomesForItem(item string) []int {
+	return s.View().homesForItem(item)
+}
+
 // SetResilience installs (nil: removes) the client-side retry layer on
 // every shard, present and future — the reference is sticky across growth,
 // so domains a reshard creates mid-flight retry like their peers. The set
@@ -252,6 +260,11 @@ func (v *DomainView) Shards() int { return len(v.shards) }
 
 // Migrating reports whether the view straddles a double-write window.
 func (v *DomainView) Migrating() bool { return v.target != nil }
+
+// Epoch returns the active directory epoch id this view routes by. Cached
+// observations derived through a view are tagged with it, so a cache can tell
+// when a reshard cutover has invalidated the placement they were read under.
+func (v *DomainView) Epoch() int { return v.active.ID }
 
 // homesForKey returns every shard that may hold the key, active home first
 // (the shared double-write-set rule, evaluated against this view's epochs).

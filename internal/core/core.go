@@ -168,6 +168,11 @@ type Deployment struct {
 	// SetResilience and package resilient.
 	Res *resilient.Client
 
+	// Commits fans committed-transaction notices out to subscribed query
+	// caches (see notify.go); the P2 and P3 commit paths publish to it after
+	// every successful provenance write.
+	Commits *CommitBus
+
 	// Resharder state (reshard.go): reshardRunMu serializes whole Reshard
 	// runs (TryLock — a racing second resharder gets ErrReshardInFlight,
 	// never a directory panic); reshardMu guards the one-shot
@@ -200,11 +205,12 @@ func NewDeployment(env *sim.Env) *Deployment {
 func NewShardedDeployment(env *sim.Env, topo Topology) *Deployment {
 	topo = topo.normalized()
 	d := &Deployment{
-		Env:   env,
-		Store: store.New(env),
-		DB:    sdb.NewSet(env, DomainName, topo.DBShards),
-		WAL:   sqs.NewSet(env, WALName, topo.WALShards),
-		Topo:  topo,
+		Env:     env,
+		Store:   store.New(env),
+		DB:      sdb.NewSet(env, DomainName, topo.DBShards),
+		WAL:     sqs.NewSet(env, WALName, topo.WALShards),
+		Topo:    topo,
+		Commits: NewCommitBus(env.Meter()),
 	}
 	// A production client always talks through its SDK's retry layer; the
 	// default client costs nothing until the environment injects faults.

@@ -56,7 +56,12 @@ func (p *P2) Commit(obj FileObject, bundles []prov.Bundle) error {
 		return err
 	}
 	provTask := func() error {
-		return putItems(p.dep.DB, reqs, p.opts.ProvConns, p.opts.Ordered)
+		if err := putItems(p.dep.DB, reqs, p.opts.ProvConns, p.opts.Ordered); err != nil {
+			return err
+		}
+		// P2 has no transaction uuid — notices carry the touched items only.
+		p.dep.publishCommit(nil, reqs)
+		return nil
 	}
 	dataTask := func() error {
 		return p.dep.Store.PutSized(DataKey(obj.Path), obj.Size, dataMeta(obj))

@@ -706,15 +706,23 @@ func (p *P3) commitGroup(group []*txnState) error {
 			if err := putItems(p.dep.DB, w.reqs, p.opts.ProvConns, false); err != nil {
 				return errors.Join(append(errs, err)...)
 			}
+			p.dep.publishCommit([]uuid.UUID{w.hdr.Txn}, w.reqs)
 		}
 	} else {
 		all := make([]sdb.PutRequest, 0, len(work))
+		txns := make([]uuid.UUID, 0, len(work))
 		for _, w := range work {
 			all = append(all, w.reqs...)
+			txns = append(txns, w.hdr.Txn)
 		}
 		if err := putItems(p.dep.DB, all, p.opts.ProvConns, false); err != nil {
 			return errors.Join(append(errs, err)...)
 		}
+		// The group's rows are acknowledged by the database — notify
+		// subscribed caches before the data copy so a cache never serves a
+		// pre-commit observation past this point. A crash below redelivers
+		// the group and republishes; invalidation is idempotent.
+		p.dep.publishCommit(txns, all)
 	}
 
 	if p.takeCrash(CrashAfterDB) {

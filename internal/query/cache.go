@@ -5,8 +5,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
+	"passcloud/internal/cloud/sdb"
+	"passcloud/internal/core"
 	"passcloud/internal/prov"
+	"passcloud/internal/sim"
 	"passcloud/internal/uuid"
 )
 
@@ -25,10 +29,25 @@ import (
 // reference a ref), and those sets can grow as new provenance commits. A
 // cached observation is therefore exactly an eventually consistent read — an
 // older but once-true view, the same semantics every uncached SELECT in this
-// system already has. Callers that need a fresh view call Flush (or query
-// through an engine without a cache); long-lived engines serving a settled,
-// append-quiet corpus (the repeated-traversal workloads of the read-path
-// benchmarks) hit invalidation-free steady state.
+// system already has. Three mechanisms tighten that:
+//
+//   - Subscription (Engine.Subscribe): the cache attaches to the
+//     deployment's commit bus and every committed transaction invalidates
+//     exactly the observations it touches — the vers/ set of each written
+//     item's uuid, the kids/ set of each ref the item names as an input,
+//     and every attr/ root set whose predicate the item satisfies. A
+//     subscribed warm cache is coherent for live data: an observation it
+//     serves reflects every acknowledged commit.
+//   - Epoch tagging: observations remember the directory epoch they were
+//     read under. An unsubscribed cache drops an observation whose epoch no
+//     longer matches the executing view's — a reshard cutover changed the
+//     placement it was derived through — instead of serving a pre-cutover
+//     set. Subscribed caches serve across epochs: notices keep the entries
+//     precise regardless of placement.
+//   - Bounded staleness (Engine.SetStalenessBound): a disconnected engine
+//     can cap how old a served observation may be on the simulated clock;
+//     entries past the bound are dropped on lookup. Entries stored before
+//     the bound was armed carry no timestamp and are treated as over-age.
 //
 // Cache is safe for concurrent use. Values handed out are shared, not
 // copied: treat cached bundles and ref slices as read-only.
@@ -40,15 +59,37 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// attrKeys registers each live attr/ observation's predicate so a
+	// commit notice can be matched against it precisely.
+	attrKeys map[string][]AttrMatch
+
+	// Coherence state (see Engine.Subscribe / SetStalenessBound).
+	subscribed    bool
+	busSeq        func() int64 // bus head reader while subscribed
+	meter         *sim.Meter   // coherence-hit accounting while subscribed
+	lastSeq       int64        // last notice sequence applied
+	bound         time.Duration
+	now           func() time.Duration
+	coherenceHits int64
+	invalidations int64
+	epochFlushes  int64
+	expired       int64
+	staleServes   int64
 }
 
 // DefaultCacheEntries is the capacity NewCache(0) provides.
 const DefaultCacheEntries = 4096
 
-// cacheEntry is one LRU slot.
+// cacheEntry is one LRU slot. Observation entries carry the directory epoch
+// they were read under and their store time on the simulated clock;
+// immutable item entries need neither.
 type cacheEntry struct {
-	key string
-	val any
+	key      string
+	val      any
+	obs      bool
+	epoch    int
+	storedAt time.Duration
 }
 
 // NewCache returns an empty cache bounded to capacity entries (0 or
@@ -58,9 +99,10 @@ func NewCache(capacity int) *Cache {
 		capacity = DefaultCacheEntries
 	}
 	return &Cache{
-		cap:     capacity,
-		ll:      list.New(),
-		entries: make(map[string]*list.Element, capacity),
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+		attrKeys: make(map[string][]AttrMatch),
 	}
 }
 
@@ -70,6 +112,25 @@ type CacheStats struct {
 	Misses    int64
 	Evictions int64
 	Entries   int
+
+	// Subscribed reports whether the cache is attached to a commit bus.
+	Subscribed bool
+	// CoherenceHits counts hits on observation entries served while
+	// subscribed — reads the invalidation protocol kept safe.
+	CoherenceHits int64
+	// Invalidations counts entries dropped by commit notices.
+	Invalidations int64
+	// EpochFlushes counts observations dropped because a reshard cutover
+	// changed the directory epoch under them.
+	EpochFlushes int64
+	// Expired counts observations dropped past the staleness bound.
+	Expired int64
+	// StaleServes counts observation hits served under the bounded-staleness
+	// allowance (unsubscribed, within the bound).
+	StaleServes int64
+	// SubscriptionLag is the distance between the bus head and the last
+	// notice applied (0 for the synchronous in-process bus).
+	SubscriptionLag int64
 }
 
 // Stats returns the cache counters.
@@ -77,9 +138,34 @@ func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
+	// Read the bus head before taking the cache lock: the bus calls into the
+	// cache under its own lock on publish, so the reverse order would invert
+	// lock acquisition.
+	c.mu.Lock()
+	head := c.busSeq
+	c.mu.Unlock()
+	var headSeq int64 = -1
+	if head != nil {
+		headSeq = head()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+	s := CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Entries:       len(c.entries),
+		Subscribed:    c.subscribed,
+		CoherenceHits: c.coherenceHits,
+		Invalidations: c.invalidations,
+		EpochFlushes:  c.epochFlushes,
+		Expired:       c.expired,
+		StaleServes:   c.staleServes,
+	}
+	if c.subscribed && headSeq > c.lastSeq {
+		s.SubscriptionLag = headSeq - c.lastSeq
+	}
+	return s
 }
 
 // Flush drops every entry (counters survive). It is the coarse invalidation
@@ -91,11 +177,20 @@ func (c *Cache) Flush() {
 	c.mu.Lock()
 	c.ll.Init()
 	c.entries = make(map[string]*list.Element, c.cap)
+	c.attrKeys = make(map[string][]AttrMatch)
 	c.mu.Unlock()
 }
 
+// removeLocked unlinks one entry and its attr-predicate registration.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	delete(c.attrKeys, e.key)
+}
+
 // lookup returns the cached value for key, counting a hit or miss. A nil
-// cache always misses without counting.
+// cache always misses without counting. Immutable item entries only.
 func (c *Cache) lookup(key string) (any, bool) {
 	if c == nil {
 		return nil, false
@@ -112,25 +207,197 @@ func (c *Cache) lookup(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// store inserts or refreshes key, evicting from the LRU tail past capacity.
+// lookupObs returns a cached observation, applying the coherence guards:
+// unsubscribed caches drop entries from another directory epoch (the
+// reshard-straddle case) and entries past the staleness bound; subscribed
+// caches serve unconditionally — the invalidation protocol keeps them right.
+func (c *Cache) lookupObs(key string, epoch int) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !c.subscribed {
+		if e.epoch != epoch {
+			c.removeLocked(el)
+			c.epochFlushes++
+			c.misses++
+			return nil, false
+		}
+		if c.bound > 0 && c.now != nil && c.now()-e.storedAt > c.bound {
+			c.removeLocked(el)
+			c.expired++
+			c.misses++
+			return nil, false
+		}
+	}
+	c.hits++
+	if c.subscribed {
+		c.coherenceHits++
+		if c.meter != nil {
+			c.meter.CountCoherenceHit()
+		}
+	} else if c.bound > 0 {
+		c.staleServes++
+	}
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// store inserts or refreshes an immutable item entry.
 func (c *Cache) store(key string, val any) {
+	c.storeEntry(key, val, false, 0, nil)
+}
+
+// storeObs inserts or refreshes an observation read under epoch.
+func (c *Cache) storeObs(key string, val any, epoch int) {
+	c.storeEntry(key, val, true, epoch, nil)
+}
+
+// storeAttrObs inserts an attribute-root observation, registering its
+// predicate for precise invalidation.
+func (c *Cache) storeAttrObs(key string, val any, epoch int, ms []AttrMatch) {
+	c.storeEntry(key, val, true, epoch, ms)
+}
+
+func (c *Cache) storeEntry(key string, val any, obs bool, epoch int, ms []AttrMatch) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if ms != nil {
+		c.attrKeys[key] = ms
+	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val, e.obs, e.epoch = val, obs, epoch
+		if c.now != nil {
+			e.storedAt = c.now()
+		}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	e := &cacheEntry{key: key, val: val, obs: obs, epoch: epoch}
+	if c.now != nil {
+		e.storedAt = c.now()
+	}
+	c.entries[key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.cap {
-		tail := c.ll.Back()
-		c.ll.Remove(tail)
-		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.removeLocked(c.ll.Back())
 		c.evictions++
 	}
+}
+
+// attach puts the cache in subscribed mode. Observations cached before the
+// subscription may already have missed invalidations, so they are dropped:
+// coherence starts from a known point.
+func (c *Cache) attach(busSeq func() int64, m *sim.Meter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.entries {
+		if el.Value.(*cacheEntry).obs {
+			c.removeLocked(el)
+		}
+	}
+	c.subscribed = true
+	c.busSeq = busSeq
+	c.meter = m
+	if busSeq != nil {
+		c.lastSeq = busSeq()
+	}
+}
+
+// detach returns the cache to unsubscribed (eventually consistent)
+// operation; entries kept are valid as of the detach and age from there
+// under the epoch and staleness guards.
+func (c *Cache) detach() {
+	c.mu.Lock()
+	c.subscribed = false
+	c.busSeq = nil
+	c.meter = nil
+	c.mu.Unlock()
+}
+
+// setBound arms (or with 0 disarms) the bounded-staleness guard; now reads
+// the simulated clock.
+func (c *Cache) setBound(d time.Duration, now func() time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.bound = d
+	c.now = now
+	c.mu.Unlock()
+}
+
+// applyNotice invalidates exactly the observations one committed transaction
+// group touched and returns how many entries were dropped. Item bodies are
+// immutable and never touched; a redelivered (idempotently re-committed)
+// transaction re-drops nothing. Items in this system are written once per
+// version, so a notice's attributes are the item's final attributes — an
+// attr/ observation is dropped iff the new item belongs in its root set.
+func (c *Cache) applyNotice(n core.CommitNotice) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastSeq = n.Seq
+	var dropped int64
+	drop := func(key string) {
+		if el, ok := c.entries[key]; ok {
+			c.removeLocked(el)
+			dropped++
+		}
+	}
+	for _, it := range n.Items {
+		// The item is a new version of its object: the uuid's version set
+		// grew.
+		if ref, err := prov.ParseRef(it.Name); err == nil {
+			drop(versKey(ref.UUID))
+		}
+		// Each input edge makes the item a new child of the referenced ref.
+		for _, a := range it.Attrs {
+			if a.Name == prov.AttrInput {
+				drop("kids/" + a.Value)
+			}
+		}
+		// Any registered attribute root set the item satisfies gained a
+		// member.
+		for key, ms := range c.attrKeys {
+			if noticeMatches(it.Attrs, ms) {
+				drop(key)
+			}
+		}
+	}
+	c.invalidations += dropped
+	return dropped
+}
+
+// noticeMatches reports whether an item's written attributes satisfy every
+// equality of an attr/ observation's predicate (SimpleDB semantics: any
+// value of a multi-valued attribute may match).
+func noticeMatches(attrs []sdb.Attr, ms []AttrMatch) bool {
+	for _, m := range ms {
+		ok := false
+		for _, a := range attrs {
+			if a.Name == m.Attr && a.Value == m.Value {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Key builders. Item names are globally unique (uuid_version) so the short

@@ -38,13 +38,28 @@
 //     follows their cross references upward;
 //   - All drains SELECT * across all shards in parallel.
 //
-// Filters are evaluated client-side against full bundles and never prune
-// the traversal itself — a filtered-out process node still conducts the
-// walk to the file outputs behind it. Plans that only need identity use
-// itemName()-only SELECTs; a Filter or ProjectBundles widens the same
-// requests to carry attributes, changing bytes but never the request count.
+// # Filters and pushdown
 //
-// # The versioned read-through cache
+// Filters never prune the traversal itself — a filtered-out process node
+// still conducts the walk to the file outputs behind it — and a filtered
+// result always carries its bundle (the plan had to fetch it to evaluate
+// or prove the filter; the equivalence tests pin this shape on every
+// plan). On the database backend the planner additionally lowers the
+// conjunctive prefix of a Filter into the SELECT predicates themselves
+// (see lowerFilter): type and attribute equalities, and name equalities,
+// split into a pushed WHERE term plus a client-side residue whose
+// conjunction is exactly the original filter. Pushdown engages where a
+// SELECT already exists to narrow — whole-domain All scans, pure-attribute
+// Self finds (root predicate and filter fuse into one SELECT), and the
+// terminal level of a depth-bounded Descendants walk, where the pushed
+// term joins the IN batch and the shard-side planner picks whichever
+// branch examines fewer candidate items. Unbounded walks get no pushdown:
+// every level feeds the frontier, so nothing can be dropped server-side.
+// Pushdown changes what the SELECTs examine and ship, never the result
+// stream; [Engine.SetPushdown] turns it off for ablation, and
+// [Engine.Describe] spells out the pushed/residue split per plan.
+//
+// # The versioned read-through cache and its coherence contract
 //
 // [Cache] sits under the database executor. Items are named uuid_version
 // and immutable once committed, so item-body entries need no invalidation;
@@ -53,6 +68,32 @@
 // traversals over a settled corpus then stop re-billing SELECTs: the
 // second identical BFS resolves entirely client-side. Engines default to
 // no cache, which keeps Q1–Q4 priced exactly as Table 5 measured them.
+// (A cached engine filters client-side: observations answer most reads
+// before any SELECT is planned, so there is nothing to push into.)
+//
+// Three mechanisms bound how stale a served observation can be:
+//
+//   - [Engine.Subscribe] attaches the cache to the deployment's commit
+//     bus. The P2/P3 commit paths piggyback a [core.CommitNotice] on the
+//     write that persists each transaction's items, and the cache drops
+//     exactly the observations that commit touched: the written uuids'
+//     version sets, the child sets of every ref the items name as an
+//     input, and every cached attribute root set the items' attributes
+//     satisfy. A subscribed warm cache is coherent — byte-identical to an
+//     uncached engine after every acknowledged commit — which is what the
+//     coherent-reads benchmark gates at >= 2x lower simulated read cost.
+//   - Observations are tagged with the directory epoch they were read
+//     under. An unsubscribed cache refuses to serve an observation from a
+//     superseded epoch (a reshard cutover changed the placement it was
+//     derived through) and re-reads instead; subscribed caches serve
+//     across epochs because notices keep them precise regardless of
+//     placement.
+//   - [Engine.SetStalenessBound] caps the age of served observations on
+//     the simulated clock for engines that stay unsubscribed.
+//
+// [Cache.Stats] exposes the coherence counters (coherent hits,
+// invalidations, epoch flushes, stale serves, expirations, subscription
+// lag) that provctl's cache command reports.
 //
 // # Results and determinism
 //

@@ -155,6 +155,9 @@ func (e *Engine) Describe(spec Spec) string {
 	cache := "off"
 	if e.cache != nil {
 		cache = "on"
+		if e.unsub != nil {
+			cache = "on, subscribed"
+		}
 	}
 	var roots string
 	switch {
@@ -169,7 +172,8 @@ func (e *Engine) Describe(spec Spec) string {
 	switch spec.Direction {
 	case All:
 		// Whole-domain drains never consult the cache (see Cache docs).
-		return "sdb: scatter-gather SELECT drain over all shards, uncached"
+		return "sdb: scatter-gather SELECT drain over all shards, uncached" +
+			e.describeFilter(spec)
 	case Self:
 		traverse = "no traversal"
 	case Versions:
@@ -179,7 +183,48 @@ func (e *Engine) Describe(spec Spec) string {
 	case Ancestors:
 		traverse = "batched itemName() fetch walk over xref edges"
 	}
-	return fmt.Sprintf("sdb: roots via %s; %s; cache %s", roots, traverse, cache)
+	return fmt.Sprintf("sdb: roots via %s; %s; cache %s%s",
+		roots, traverse, cache, e.describeFilter(spec))
+}
+
+// describeFilter names how the spec's filter — if any — would be evaluated:
+// lowered into SELECT predicates, split into a pushed half and a client
+// residue, or run client-side in full, with the reason. It mirrors
+// dbExec.prepare exactly.
+func (e *Engine) describeFilter(spec Spec) string {
+	if spec.Filter == nil {
+		return ""
+	}
+	const client = "; filter client-side"
+	if !e.pushdown {
+		return client + " (pushdown off)"
+	}
+	if e.cache != nil {
+		return client + " (cached observations answer before SELECTs)"
+	}
+	switch spec.Direction {
+	case Versions, Ancestors:
+		return client + " (plan fetches bundles anyway)"
+	case Descendants:
+		if spec.MaxDepth == 0 {
+			return client + " (unbounded walk: every level feeds the frontier)"
+		}
+	case Self:
+		if len(spec.Roots.Attrs) == 0 || len(spec.Roots.Paths) > 0 ||
+			len(spec.Roots.UUIDs) > 0 || len(spec.Roots.Refs) > 0 {
+			return client + " (non-attribute roots)"
+		}
+	}
+	pushed, residue := lowerFilter(spec.Filter)
+	switch {
+	case pushed == nil:
+		return client + " (no lowerable conjunctive terms)"
+	case residue != nil:
+		return fmt.Sprintf("; filter split: [%s] pushed into SELECTs, residue %s client-side",
+			pushed, residue)
+	default:
+		return fmt.Sprintf("; filter [%s] pushed into SELECTs", pushed)
+	}
 }
 
 // sortRefs orders refs canonically (ascending uuid_version string, the
@@ -241,6 +286,12 @@ type dbExec struct {
 	// view is the routing snapshot every access path of this execution
 	// uses; capturing it once pins the whole query to one epoch pair.
 	view *sdb.DomainView
+	// pushed/residue split the spec's filter for this execution (see
+	// prepare): pushed is evaluated server-side (or against narrowed
+	// responses), residue client-side against bundles. Both nil means the
+	// whole filter — if any — runs client-side.
+	pushed  *sdb.Node
+	residue *Filter
 }
 
 func (x *dbExec) workers() int {
@@ -250,12 +301,44 @@ func (x *dbExec) workers() int {
 	return DefaultWorkers
 }
 
-// needBundles reports whether emission requires full bundles.
+// needBundles reports whether client-side emission requires full bundles.
 func (x *dbExec) needBundles() bool {
 	return x.spec.Project == ProjectBundles || x.spec.Filter != nil
 }
 
+// prepare decides the filter split. Pushdown engages only where it wins:
+// the whole-domain scan, pure attribute-rooted finds (the predicate fuses
+// into the root SELECT) and the terminal levels of depth-bounded descendant
+// walks. An unbounded walk has no terminal level (every level feeds the
+// frontier, so every child must ship regardless of the filter); Versions
+// and Ancestors fetch full bundles on their access paths anyway, so pushing
+// their filters would save nothing; cached engines skip pushdown entirely —
+// their observations answer reads before any SELECT is planned, and the
+// observation keys describe unfiltered sets.
+func (x *dbExec) prepare() {
+	if x.spec.Filter == nil || !x.e.pushdown || x.e.cache != nil {
+		return
+	}
+	switch x.spec.Direction {
+	case All:
+		x.pushed, x.residue = lowerFilter(x.spec.Filter)
+	case Descendants:
+		if x.spec.MaxDepth > 0 {
+			x.pushed, x.residue = lowerFilter(x.spec.Filter)
+		}
+	case Self:
+		if len(x.spec.Roots.Attrs) > 0 && len(x.spec.Roots.Paths) == 0 &&
+			len(x.spec.Roots.UUIDs) == 0 && len(x.spec.Roots.Refs) == 0 {
+			x.pushed, x.residue = lowerFilter(x.spec.Filter)
+		}
+	}
+	if x.pushed == nil {
+		x.residue = nil // nothing lowerable: plain client-side filtering
+	}
+}
+
 func (x *dbExec) run(em *emitter) error {
+	x.prepare()
 	switch x.spec.Direction {
 	case All:
 		return x.runAll(em)
@@ -271,9 +354,26 @@ func (x *dbExec) run(em *emitter) error {
 	return fmt.Errorf("query: unknown direction %d", x.spec.Direction)
 }
 
-// emitNode forwards to the backend-shared emitMatch.
+// emitNode forwards to the backend-shared emitMatch: the full filter — if
+// any — is evaluated client-side.
 func (x *dbExec) emitNode(em *emitter, ref prov.Ref, depth int, b *prov.Bundle) error {
 	return emitMatch(x.spec, em, ref, depth, b)
+}
+
+// emitPushed emits a node the server predicate already accepted: only the
+// residue — if any — still needs a client-side check. The Bundle-presence
+// rule matches emitMatch's exactly — a filtered result carries its bundle on
+// every plan — so turning pushdown on or off never changes the result
+// stream, only what the SELECTs examine and ship.
+func (x *dbExec) emitPushed(em *emitter, ref prov.Ref, depth int, b *prov.Bundle) error {
+	if x.residue != nil && (b == nil || !x.residue.Match(b)) {
+		return nil
+	}
+	r := Result{Ref: ref, Depth: depth}
+	if b != nil && (x.spec.Project == ProjectBundles || x.spec.Filter != nil) {
+		r.Bundle = b
+	}
+	return em.emit(r)
 }
 
 // runAll drains the whole logical domain — the database plan for Q1. Within
@@ -281,6 +381,17 @@ func (x *dbExec) emitNode(em *emitter, ref prov.Ref, depth int, b *prov.Bundle) 
 // previous page's token), but on a sharded fabric the domain set scatters
 // the drain across shards in parallel and merges back canonical name order.
 func (x *dbExec) runAll(em *emitter) error {
+	if x.pushed != nil {
+		// The predicate rides the scan: the planner serves it from the
+		// secondary indexes, so the drain examines the predicate's candidates
+		// instead of every item, and ships only matching items.
+		q := sdb.Query{Domain: core.DomainName, Where: x.pushed}
+		items, _, _, err := x.view.SelectAllQuery(q)
+		if err != nil {
+			return err
+		}
+		return x.emitPushedItems(em, items)
+	}
 	if !x.needBundles() {
 		items, _, _, err := x.view.SelectAllQuery(itemNameQuery)
 		if err != nil {
@@ -313,7 +424,39 @@ func (x *dbExec) runAll(em *emitter) error {
 	return nil
 }
 
+// emitPushedItems emits a server-filtered SELECT result in response order:
+// decoded bundles with the residue applied.
+func (x *dbExec) emitPushedItems(em *emitter, items []sdb.Item) error {
+	for _, it := range items {
+		b, err := core.BundleFromItem(it)
+		if err != nil {
+			return err
+		}
+		if err := x.emitPushed(em, b.Ref, 0, &b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (x *dbExec) runSelf(em *emitter) error {
+	if x.pushed != nil {
+		// Pure attribute roots: the filter fuses into the root SELECT
+		// itself — one indexed request resolving and filtering together
+		// replaces the attribute SELECT plus the per-root bundle fetch the
+		// client-side plan needs just to evaluate the filter.
+		ms := x.spec.Roots.Attrs
+		pred := sdb.Eq(ms[0].Attr, ms[0].Value)
+		for _, m := range ms[1:] {
+			pred = sdb.And(pred, sdb.Eq(m.Attr, m.Value))
+		}
+		q := sdb.Query{Domain: core.DomainName, Where: sdb.And(pred, x.pushed)}
+		items, _, _, err := x.view.SelectAllQuery(q)
+		if err != nil {
+			return err
+		}
+		return x.emitPushedItems(em, items)
+	}
 	refs, bundles, err := x.rootRefs()
 	if err != nil {
 		return err
@@ -389,7 +532,12 @@ func (x *dbExec) runDescendants(em *emitter) error {
 			break
 		}
 		depth++
-		kids, bundles, err := x.children(frontier)
+		// The last level of a bounded walk feeds no further frontier, so a
+		// pushed predicate can fuse into its IN SELECTs — non-matching
+		// children never ship (Q3's shape, and the final level of any
+		// depth-bounded Q4).
+		terminal := x.spec.MaxDepth > 0 && depth == x.spec.MaxDepth
+		kids, bundles, matched, err := x.children(frontier, terminal)
 		if err != nil {
 			return err
 		}
@@ -400,7 +548,7 @@ func (x *dbExec) runDescendants(em *emitter) error {
 				next = append(next, r)
 			}
 		}
-		if x.needBundles() {
+		if matched == nil && x.needBundles() {
 			var missing []prov.Ref
 			for _, r := range next {
 				if bundles[r] == nil {
@@ -418,7 +566,14 @@ func (x *dbExec) runDescendants(em *emitter) error {
 			}
 		}
 		for _, r := range next {
-			if err := x.emitNode(em, r, depth, bundles[r]); err != nil {
+			if matched != nil {
+				if !matched[r] {
+					continue
+				}
+				if err := x.emitPushed(em, r, depth, bundles[r]); err != nil {
+					return err
+				}
+			} else if err := x.emitNode(em, r, depth, bundles[r]); err != nil {
 				return err
 			}
 		}
@@ -579,10 +734,11 @@ func (x *dbExec) pathRef(path string) (prov.Ref, error) {
 }
 
 // attrRoots finds node refs matching every attribute equality — one indexed
-// SELECT, read through the cache's attr observations.
+// SELECT, read through the cache's attr observations (the predicate rides
+// along into the cache so commit notices can match new items against it).
 func (x *dbExec) attrRoots(ms []AttrMatch) ([]prov.Ref, error) {
 	key := attrKey(ms)
-	if v, ok := x.e.cache.lookup(key); ok {
+	if v, ok := x.e.cache.lookupObs(key, x.view.Epoch()); ok {
 		return v.([]prov.Ref), nil
 	}
 	pred := sdb.Eq(ms[0].Attr, ms[0].Value)
@@ -599,7 +755,7 @@ func (x *dbExec) attrRoots(ms []AttrMatch) ([]prov.Ref, error) {
 	if err != nil {
 		return nil, err
 	}
-	x.e.cache.store(key, refs)
+	x.e.cache.storeAttrObs(key, refs, x.view.Epoch(), ms)
 	return refs, nil
 }
 
@@ -610,14 +766,14 @@ func (x *dbExec) attrRoots(ms []AttrMatch) ([]prov.Ref, error) {
 // co-shard, so this is a single-key lookup, not a scatter; no recorded
 // versions is ErrNoProvenance).
 func (x *dbExec) versions(u uuid.UUID) ([]prov.Bundle, error) {
-	if v, ok := x.e.cache.lookup(versKey(u)); ok {
+	if v, ok := x.e.cache.lookupObs(versKey(u), x.view.Epoch()); ok {
 		return v.([]prov.Bundle), nil
 	}
 	bundles, err := core.ReadProvenanceView(x.view, u)
 	if err != nil {
 		return nil, err
 	}
-	x.e.cache.store(versKey(u), bundles)
+	x.e.cache.storeObs(versKey(u), bundles, x.view.Epoch())
 	for i := range bundles {
 		x.e.cache.store(itemKey(bundles[i].Ref.String()), &bundles[i])
 	}
@@ -633,7 +789,16 @@ func (x *dbExec) versions(u uuid.UUID) ([]prov.Bundle, error) {
 // request COUNT is identical in every mode. Returned refs are deduplicated
 // and canonically ordered; bundles carries whatever full bundles the
 // responses included.
-func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundle, error) {
+//
+// On a terminal level of a depth-bounded walk with a pushed predicate
+// (x.pushed != nil, never combined with a cache), the predicate fuses into
+// the IN SELECT: non-matching children are never shipped (nor examined, when
+// the planner finds a cheaper predicate branch), which is safe exactly
+// because no further frontier is built from them. The third return value is
+// then non-nil, marking every returned ref server-accepted. Inner levels
+// must return every child to keep the traversal complete — the filter
+// selects output, not the walk — so they keep the client-filtered shape.
+func (x *dbExec) children(refs []prov.Ref, terminal bool) ([]prov.Ref, map[prov.Ref]*prov.Bundle, map[prov.Ref]bool, error) {
 	cache := x.e.cache
 	bundles := make(map[prov.Ref]*prov.Bundle)
 	seen := make(map[prov.Ref]bool)
@@ -644,12 +809,17 @@ func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundl
 			out = append(out, r)
 		}
 	}
+	var matched map[prov.Ref]bool
+	fused := x.pushed != nil && terminal
+	if fused {
+		matched = make(map[prov.Ref]bool)
+	}
 
 	pending := refs
 	if cache != nil {
 		pending = nil
 		for _, r := range refs {
-			if v, ok := cache.lookup(kidsKey(r)); ok {
+			if v, ok := cache.lookupObs(kidsKey(r), x.view.Epoch()); ok {
 				for _, cr := range v.([]prov.Ref) {
 					add(cr)
 				}
@@ -676,6 +846,9 @@ func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundl
 		q := itemNameQuery
 		q.Where = sdb.In(prov.AttrInput, vals...)
 		switch {
+		case fused:
+			q.Where = sdb.And(q.Where, x.pushed)
+			q.ItemOnly, q.Fields = false, nil // full matching items
 		case x.needBundles():
 			q.ItemOnly, q.Fields = false, nil // full items
 		case cache != nil:
@@ -689,7 +862,7 @@ func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundl
 		return nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// perRef accumulates each pending ref's observed children for the cache.
@@ -705,13 +878,21 @@ func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundl
 		for _, it := range items {
 			ref, err := prov.ParseRef(it.Name)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			add(ref)
-			if x.needBundles() {
+			switch {
+			case fused:
+				matched[ref] = true
 				b, err := core.BundleFromItem(it)
 				if err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
+				}
+				bundles[ref] = &b
+			case x.needBundles():
+				b, err := core.BundleFromItem(it)
+				if err != nil {
+					return nil, nil, nil, err
 				}
 				bundles[ref] = &b
 				cache.store(itemKey(it.Name), &b)
@@ -732,11 +913,11 @@ func (x *dbExec) children(refs []prov.Ref) ([]prov.Ref, map[prov.Ref]*prov.Bundl
 		for _, r := range pending {
 			kids := perRef[r]
 			sortRefs(kids)
-			cache.store(kidsKey(r), kids)
+			cache.storeObs(kidsKey(r), kids, x.view.Epoch())
 		}
 	}
 	sortRefs(out)
-	return out, bundles, nil
+	return out, bundles, matched, nil
 }
 
 // bundlesFor fetches full bundles for exact refs, read through the item

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"time"
 
 	"passcloud/internal/core"
@@ -17,15 +18,18 @@ type Metrics struct {
 // Engine plans and executes Specs against one deployment/backend pair and
 // carries the optional read-through cache the database plans consult.
 type Engine struct {
-	dep     *core.Deployment
-	backend core.Backend
-	cache   *Cache
+	dep      *core.Deployment
+	backend  core.Backend
+	cache    *Cache
+	pushdown bool
+	unsub    func()
 }
 
 // New returns an engine with no cache (every query prices exactly as the
-// paper's measurements did). The backend must be BackendS3 or BackendSDB.
+// paper's measurements did) and filter pushdown enabled. The backend must be
+// BackendS3 or BackendSDB.
 func New(dep *core.Deployment, backend core.Backend) *Engine {
-	return &Engine{dep: dep, backend: backend}
+	return &Engine{dep: dep, backend: backend, pushdown: true}
 }
 
 // Backend returns the provenance backend queried.
@@ -34,11 +38,64 @@ func (e *Engine) Backend() core.Backend { return e.backend }
 // SetCache installs (or, with nil, removes) the versioned read-through
 // cache under the database executor. The store backend's whole-graph scans
 // are deliberately uncached — they are the plan of last resort, and caching
-// them would hide the asymmetry Table 5 exists to show.
+// them would hide the asymmetry Table 5 exists to show. A cached engine
+// filters client-side (its observations answer most reads before any SELECT
+// is planned); filter pushdown applies to uncached engines.
 func (e *Engine) SetCache(c *Cache) { e.cache = c }
 
 // Cache returns the installed cache, or nil.
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// SetPushdown enables or disables lowering conjunctive filter terms into
+// SELECT predicates (on by default; see lowerFilter). Off restores the
+// ship-everything-filter-client-side plans — the ablation the equivalence
+// tests compare against.
+func (e *Engine) SetPushdown(on bool) { e.pushdown = on }
+
+// Pushdown reports whether filter pushdown is enabled.
+func (e *Engine) Pushdown() bool { return e.pushdown }
+
+// Subscribe attaches the installed cache to the deployment's commit bus:
+// from this point every committed transaction invalidates exactly the
+// cached observations it touches, so a long-lived warm cache stays coherent
+// under continuous ingest instead of serving ever-staler sets. Observations
+// cached before the subscription are dropped (they may already have missed
+// commits). Idempotent while subscribed; Unsubscribe detaches.
+func (e *Engine) Subscribe() error {
+	if e.cache == nil {
+		return errors.New("query: Subscribe needs a cache (SetCache first)")
+	}
+	if e.dep.Commits == nil {
+		return errors.New("query: deployment has no commit bus")
+	}
+	if e.unsub != nil {
+		return nil
+	}
+	c := e.cache
+	c.attach(e.dep.Commits.Seq, e.dep.Env.Meter())
+	e.unsub = e.dep.Commits.Subscribe(c.applyNotice)
+	return nil
+}
+
+// Unsubscribe detaches the cache from the commit bus; kept entries revert
+// to eventually consistent observations under the epoch and staleness
+// guards.
+func (e *Engine) Unsubscribe() {
+	if e.unsub == nil {
+		return
+	}
+	e.unsub()
+	e.unsub = nil
+	e.cache.detach()
+}
+
+// SetStalenessBound caps how old an observation the installed cache may
+// serve while unsubscribed, measured on the simulated clock (0 disarms the
+// bound — the default, plain eventual consistency). Subscribed caches
+// ignore the bound: invalidation keeps them exact.
+func (e *Engine) SetStalenessBound(d time.Duration) {
+	e.cache.setBound(d, e.dep.Env.Now)
+}
 
 // measure runs f and computes the metrics delta around it.
 func (e *Engine) measure(f func() error) (Metrics, error) {

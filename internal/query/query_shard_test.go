@@ -162,8 +162,8 @@ func specDigest(t *testing.T, e *Engine, spec Spec) string {
 // directions — must produce byte-identical result streams at K=1 and K=4
 // (the seeded replay commits identical provenance per topology, as
 // TestCrossShardEquivalence established), and within each topology the
-// stream must not change when the read-through cache turns on, cold or
-// warm.
+// stream must not change when filter pushdown turns off or when the
+// read-through cache turns on, cold or warm.
 func TestSpecCrossShardEquivalence(t *testing.T) {
 	specs := pinnedSpecs()
 	var k1 []string
@@ -183,6 +183,13 @@ func TestSpecCrossShardEquivalence(t *testing.T) {
 				}
 			}
 		}
+		e.SetPushdown(false)
+		for i, s := range specs {
+			if got := specDigest(t, e, s); got != uncached[i] {
+				t.Errorf("K=%d spec %d: pushdown-off digest diverged from pushdown-on", k, i)
+			}
+		}
+		e.SetPushdown(true)
 		e.SetCache(NewCache(0))
 		for i, s := range specs {
 			if got := specDigest(t, e, s); got != uncached[i] {
