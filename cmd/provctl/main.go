@@ -33,6 +33,15 @@
 //	                     tenant-keyed resilience stats; "demo" drives a short
 //	                     two-tenant burst through the front door (P3 only) so
 //	                     the counters have something to show
+//	log [head]           checkpoint the transparency log and show the signed
+//	                     tree head (size, root, signature check, durability)
+//	log prove <path|txn> build and verify the Merkle inclusion proof for the
+//	                     transaction that committed a path (or a txn uuid)
+//	log audit            replay the log against the fabric: verify every
+//	                     signed head, consistency link and inclusion proof,
+//	                     diff leaves against a consistent fabric scan, and
+//	                     report divergences alongside the Merkle-coupling
+//	                     mismatch counter
 //	bill                 show the accumulated cloud bill
 //	help / quit
 //
@@ -67,6 +76,8 @@ import (
 	"passcloud/internal/prov"
 	"passcloud/internal/query"
 	"passcloud/internal/sim"
+	"passcloud/internal/translog"
+	"passcloud/internal/uuid"
 	"passcloud/internal/workload"
 )
 
@@ -184,6 +195,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The transparency log rides the commit bus from the first commit, so
+	// the whole replay is sequenced (P2 notices carry no transaction uuids
+	// and leave the log empty — only P3 commits have a history to log).
+	tlog := translog.New(env, dep.Store, "")
+	defer tlog.Attach(dep.Commits)()
+
 	fmt.Printf("replaying %s through %s ... ", w.Name, proto.Name())
 	col := pass.New(env.Rand(), nil)
 	fs := pasfs.New(env, proto, col, pasfs.DefaultConfig())
@@ -227,7 +244,7 @@ func main() {
 			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
 			fmt.Println("cache [n|off|stats|sub|unsub|bound <dur>] | pushdown [on|off] |")
 			fmt.Println("verify <path> | props | topology | reshard <K> |")
-			fmt.Println("faults [p|off] | tenants [stats|demo] | bill | quit")
+			fmt.Println("faults [p|off] | tenants [stats|demo] | log [head|prove <path|txn>|audit] | bill | quit")
 			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
 			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
 		case "ls":
@@ -540,6 +557,97 @@ func main() {
 				fmt.Println(`now try: tenants stats`)
 			default:
 				fmt.Println("usage: tenants [stats|demo]")
+			}
+		case "log":
+			switch arg {
+			case "", "head":
+				head, err := tlog.Checkpoint()
+				if err != nil {
+					fmt.Println("checkpoint error:", err)
+					continue
+				}
+				if head.TreeSize == 0 {
+					fmt.Println("transparency log empty (only P3 commits are sequenced)")
+					continue
+				}
+				sig := "signature VERIFIES"
+				if !head.Verify(tlog.Public()) {
+					sig = "signature INVALID"
+				}
+				fmt.Printf("signed tree head: size %d, %s\n", head.TreeSize, sig)
+				fmt.Printf("  root     %s\n", head.Root)
+				fmt.Printf("  sequenced at sim t=%.3fs, %d leaves durable\n",
+					time.Duration(head.SimNanos).Seconds(), tlog.PersistedSize())
+			case "prove":
+				if len(fields) < 3 {
+					fmt.Println("usage: log prove <path|txn-uuid>")
+					continue
+				}
+				target := fields[2]
+				txn, err := uuid.Parse(target)
+				if err != nil {
+					// A path: resolve it to its provenance item, then find
+					// the leaf that committed that item.
+					o, ferr := proto.Fetch(target)
+					if ferr != nil {
+						fmt.Println("error:", ferr)
+						continue
+					}
+					item := o.Metadata[core.MetaUUID] + "_" + o.Metadata[core.MetaVersion]
+					found := false
+					for _, lf := range tlog.Leaves() {
+						for _, li := range lf.Items {
+							if li.Name == item {
+								txn, err = uuid.Parse(lf.Txn)
+								found = err == nil
+								break
+							}
+						}
+						if found {
+							break
+						}
+					}
+					if !found {
+						fmt.Printf("no leaf sequences item %s (P1/P2 commit, or unlogged)\n", item)
+						continue
+					}
+				}
+				p, err := tlog.ProveInclusion(txn)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				verdict := "VERIFIES"
+				if !p.Verify() {
+					verdict = "FAILS"
+				}
+				fmt.Printf("inclusion proof %s: leaf %d of %d, txn %s\n", verdict, p.Index, p.TreeSize, p.Txn)
+				fmt.Printf("  root %s\n", p.Root)
+				for i, d := range p.Path {
+					fmt.Printf("  path[%d] %s\n", i, d)
+				}
+				fmt.Printf("  leaf commits %d item(s) at epoch %d\n", len(p.Leaf.Items), p.Leaf.Epoch)
+			case "audit":
+				if _, err := tlog.Checkpoint(); err != nil {
+					fmt.Println("checkpoint error:", err)
+					continue
+				}
+				rep, err := translog.Audit(dep, tlog, translog.AuditOptions{})
+				if err != nil {
+					fmt.Println("audit error:", err)
+					continue
+				}
+				fmt.Println(rep)
+				for _, f := range rep.ProofFailures {
+					fmt.Println("  proof failure:", f)
+				}
+				for _, d := range rep.Divergences {
+					fmt.Printf("  divergence: %s %s (txn %s)\n", d.Kind, d.Item, d.Txn)
+				}
+				u := env.Meter().Usage()
+				fmt.Printf("merkle coupling: %d ancestry-verification mismatches this session\n", u.MerkleMismatches)
+			default:
+				fmt.Println("usage: log [head|prove <path|txn>|audit]")
 			}
 		case "bill":
 			u := env.Meter().Usage()

@@ -1,0 +1,125 @@
+package bench
+
+import "testing"
+
+// translogPair returns the pinned tamper-detection configuration and its
+// log-disabled twin. The logged run carries the full trust scenario: a 5%
+// ambiguous fault plan and a live 1→4 reshard between the two commit
+// phases, with the first-phase head kept as the witnessed checkpoint.
+func translogPair() (logged, twin TamperConfig) {
+	logged = TamperConfig{
+		Seed:          41,
+		Txns:          18,
+		BundlesPerTxn: 12,
+		Workers:       4,
+		ClientConns:   32,
+		Scale:         800,
+		FromK:         1,
+		ToK:           4,
+		FaultProb:     0.05,
+		ApplyProb:     0.5,
+		LogEnabled:    true,
+	}
+	twin = logged
+	twin.LogEnabled = false
+	return logged, twin
+}
+
+// TestTamperDetection is the headline acceptance gate: with the sequencer
+// attached, every committed transaction's inclusion proof verifies and every
+// consecutive pair of signed heads proves consistent — through a live 1→4
+// reshard, under the 5% fault plan — and a cold re-open rebuilds the
+// identical signed head. Zero false positives.
+func TestTamperDetection(t *testing.T) {
+	cfg, _ := translogPair()
+	run, err := TamperDetection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ItemCount != run.Events || run.Misplaced != 0 || run.Duplicates != 0 {
+		t.Fatalf("fabric mangled: items=%d/%d misplaced=%d duplicates=%d",
+			run.ItemCount, run.Events, run.Misplaced, run.Duplicates)
+	}
+	if run.TreeSize != cfg.Txns {
+		t.Fatalf("tree size = %d, want one leaf per transaction (%d)", run.TreeSize, cfg.Txns)
+	}
+	if run.InclusionVerified != cfg.Txns {
+		t.Fatalf("inclusion proofs verified = %d, want %d", run.InclusionVerified, cfg.Txns)
+	}
+	if run.ConsistencyChecked == 0 || run.HeadsVerified == 0 {
+		t.Fatalf("no head history checked: heads=%d consistency=%d", run.HeadsVerified, run.ConsistencyChecked)
+	}
+	if !run.AuditClean {
+		t.Fatalf("false positives: audit not clean (%d proof failures, %d divergences)",
+			run.ProofFailures, run.Divergences)
+	}
+	if !run.ReopenedOK {
+		t.Fatal("cold re-open did not rebuild the identical signed head")
+	}
+	if run.Faults == 0 {
+		t.Fatal("fault plan never fired; the gate is not exercising ambiguity")
+	}
+}
+
+// TestTamperNegativeControl rewrites one committed bundle directly on its
+// home shard after the final checkpoint: the audit must flag exactly that
+// item as tampered, and nothing else.
+func TestTamperNegativeControl(t *testing.T) {
+	cfg, _ := translogPair()
+	cfg.Tamper = true
+	run, err := TamperDetection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.TamperFlagged {
+		t.Fatal("rewritten bundle not flagged as tampered")
+	}
+	if run.AuditClean {
+		t.Fatal("audit reported clean despite the rewrite")
+	}
+	if run.Divergences != 1 {
+		t.Fatalf("divergences = %d, want exactly the rewritten item", run.Divergences)
+	}
+	if run.ProofFailures != 0 {
+		t.Fatalf("proof failures = %d; a fabric rewrite must not break the log's own proofs", run.ProofFailures)
+	}
+	if run.InclusionVerified != cfg.Txns {
+		t.Fatalf("inclusion proofs verified = %d, want %d", run.InclusionVerified, cfg.Txns)
+	}
+}
+
+// TestTranslogOverhead is the performance gate: on a fault-free, fixed-
+// topology workload, attaching the sequencer keeps the simulated client
+// commit p99 within 1.3x of the log-disabled twin. Ingestion rides the
+// synchronous commit bus, so this bounds the only work added to the commit
+// path; checkpointing is asynchronous.
+func TestTranslogOverhead(t *testing.T) {
+	logged, twin := translogPair()
+	for _, c := range []*TamperConfig{&logged, &twin} {
+		c.Txns = 40
+		c.BundlesPerTxn = 8
+		c.FromK, c.ToK = 2, 2
+		c.FaultProb, c.ApplyProb = 0, 0
+	}
+	lr, err := TamperDetection(logged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TamperDetection(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.CommitP99Ms > tr.CommitP99Ms*1.3 {
+		t.Fatalf("logged commit p99 %.2fms exceeds 1.3x the log-disabled twin's %.2fms",
+			lr.CommitP99Ms, tr.CommitP99Ms)
+	}
+	if !lr.AuditClean || lr.InclusionVerified != logged.Txns {
+		t.Fatalf("overhead run lost trust guarantees: clean=%v inclusion=%d/%d",
+			lr.AuditClean, lr.InclusionVerified, logged.Txns)
+	}
+	if tr.TreeSize != 0 || tr.LogAppends != 0 {
+		t.Fatalf("log-disabled twin still logged: tree=%d appends=%d", tr.TreeSize, tr.LogAppends)
+	}
+	t.Logf("commit p99: logged %.2fms vs twin %.2fms (ratio %.2f)",
+		lr.CommitP99Ms, tr.CommitP99Ms, lr.CommitP99Ms/tr.CommitP99Ms)
+}

@@ -66,6 +66,12 @@ func VerifyAncestry(dep *Deployment, backend Backend, path string) (MerkleReport
 	rep.Leaves = len(closure)
 	rep.Actual = merkle.RootOfBundles(closure)
 	rep.Verified = rep.Actual == rep.Expected
+	if !rep.Verified && dep.Env != nil {
+		// A mismatch used to be visible only to this caller; meter it so
+		// fleet-wide dashboards (and provctl) can report verification
+		// failures alongside the transparency-log audit stats.
+		dep.Env.Meter().CountMerkleMismatch()
+	}
 	return rep, nil
 }
 

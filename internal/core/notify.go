@@ -18,6 +18,11 @@ type CommitNotice struct {
 	Seq int64
 	// Txns lists the transaction uuids the group committed.
 	Txns []uuid.UUID
+	// Digests carries, parallel to Txns, the hex closure root each
+	// transaction's WAL header declared ("" when the writer supplied none).
+	// The transparency log folds it into the leaf so a reader's inclusion
+	// proof binds the closure the writer committed to, not just the items.
+	Digests []string
 	// Items lists the provenance items written, with their attributes.
 	Items []NoticeItem
 	// Epoch is the directory epoch the items were routed under.
@@ -26,6 +31,10 @@ type CommitNotice struct {
 
 // NoticeItem is one committed provenance item in a CommitNotice.
 type NoticeItem struct {
+	// Txn is the transaction that wrote the item (zero for P2, which has no
+	// transaction uuid); the transparency log uses it to attribute items to
+	// leaves when a batched group commits many transactions in one notice.
+	Txn uuid.UUID
 	// Name is the item name (a uuid_version ref string).
 	Name string
 	// Attrs are the attributes written (spilled values appear as markers,
@@ -101,21 +110,51 @@ func (b *CommitBus) Publish(n CommitNotice) {
 	}
 }
 
-// publishCommit builds and publishes a notice for one committed group. The
-// homes are computed against the deployment's current directory state, so a
+// TxnCommit attributes one committed transaction's writes for publication:
+// the transaction uuid, the hex closure root its WAL header declared, and
+// the put requests it produced. P2, which has no transaction uuid, publishes
+// a single zero-uuid group.
+type TxnCommit struct {
+	Txn    uuid.UUID
+	Digest string
+	Reqs   []sdb.PutRequest
+}
+
+// publishCommit builds and publishes a notice for one committed group,
+// keeping each item attributed to the transaction that wrote it. The homes
+// are computed against the deployment's current directory state, so a
 // notice raised inside a migration window names both epochs' homes and
 // subscribers invalidate correctly mid-reshard.
-func (d *Deployment) publishCommit(txns []uuid.UUID, reqs []sdb.PutRequest) {
-	if d.Commits == nil || len(reqs) == 0 {
+func (d *Deployment) publishCommit(groups []TxnCommit) {
+	if d.Commits == nil {
 		return
 	}
-	items := make([]NoticeItem, 0, len(reqs))
-	for _, r := range reqs {
-		items = append(items, NoticeItem{
-			Name:  r.Item,
-			Attrs: r.Attrs,
-			Homes: d.DB.HomesForItem(r.Item),
-		})
+	var (
+		txns    []uuid.UUID
+		digests []string
+		items   []NoticeItem
+	)
+	for _, g := range groups {
+		if g.Txn != (uuid.UUID{}) {
+			txns = append(txns, g.Txn)
+			digests = append(digests, g.Digest)
+		}
+		for _, r := range g.Reqs {
+			items = append(items, NoticeItem{
+				Txn:   g.Txn,
+				Name:  r.Item,
+				Attrs: r.Attrs,
+				Homes: d.DB.HomesForItem(r.Item),
+			})
+		}
 	}
-	d.Commits.Publish(CommitNotice{Txns: txns, Items: items, Epoch: d.DB.Directory().Epoch()})
+	if len(items) == 0 {
+		return
+	}
+	d.Commits.Publish(CommitNotice{
+		Txns:    txns,
+		Digests: digests,
+		Items:   items,
+		Epoch:   d.DB.Directory().Epoch(),
+	})
 }

@@ -60,7 +60,7 @@ func (p *P2) Commit(obj FileObject, bundles []prov.Bundle) error {
 			return err
 		}
 		// P2 has no transaction uuid — notices carry the touched items only.
-		p.dep.publishCommit(nil, reqs)
+		p.dep.publishCommit([]TxnCommit{{Reqs: reqs}})
 		return nil
 	}
 	dataTask := func() error {

@@ -706,14 +706,14 @@ func (p *P3) commitGroup(group []*txnState) error {
 			if err := putItems(p.dep.DB, w.reqs, p.opts.ProvConns, false); err != nil {
 				return errors.Join(append(errs, err)...)
 			}
-			p.dep.publishCommit([]uuid.UUID{w.hdr.Txn}, w.reqs)
+			p.dep.publishCommit([]TxnCommit{{Txn: w.hdr.Txn, Digest: w.hdr.Digest, Reqs: w.reqs}})
 		}
 	} else {
 		all := make([]sdb.PutRequest, 0, len(work))
-		txns := make([]uuid.UUID, 0, len(work))
+		groups := make([]TxnCommit, 0, len(work))
 		for _, w := range work {
 			all = append(all, w.reqs...)
-			txns = append(txns, w.hdr.Txn)
+			groups = append(groups, TxnCommit{Txn: w.hdr.Txn, Digest: w.hdr.Digest, Reqs: w.reqs})
 		}
 		if err := putItems(p.dep.DB, all, p.opts.ProvConns, false); err != nil {
 			return errors.Join(append(errs, err)...)
@@ -722,7 +722,7 @@ func (p *P3) commitGroup(group []*txnState) error {
 		// subscribed caches before the data copy so a cache never serves a
 		// pre-commit observation past this point. A crash below redelivers
 		// the group and republishes; invalidation is idempotent.
-		p.dep.publishCommit(txns, all)
+		p.dep.publishCommit(groups)
 	}
 
 	if p.takeCrash(CrashAfterDB) {

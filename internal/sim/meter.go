@@ -70,6 +70,11 @@ type Meter struct {
 	commitNotices    int64
 	invalidations    int64
 	coherenceHits    int64
+	logAppends       int64
+	logHeads         int64
+	logProofs        int64
+	logAudits        int64
+	merkleMismatches int64
 }
 
 // TenantOps counts one tenant's admission outcomes at the front door (see
@@ -193,6 +198,45 @@ func (m *Meter) CountCoherenceHit() {
 	m.mu.Unlock()
 }
 
+// AddLogAppends records n transaction leaves appended to the transparency
+// log by the sequencer.
+func (m *Meter) AddLogAppends(n int64) {
+	m.mu.Lock()
+	m.logAppends += n
+	m.mu.Unlock()
+}
+
+// CountLogHead records one signed tree head persisted by the sequencer.
+func (m *Meter) CountLogHead() {
+	m.mu.Lock()
+	m.logHeads++
+	m.mu.Unlock()
+}
+
+// CountLogProof records one inclusion or consistency proof served by the
+// transparency log.
+func (m *Meter) CountLogProof() {
+	m.mu.Lock()
+	m.logProofs++
+	m.mu.Unlock()
+}
+
+// CountLogAudit records one auditor pass over the transparency log tail.
+func (m *Meter) CountLogAudit() {
+	m.mu.Lock()
+	m.logAudits++
+	m.mu.Unlock()
+}
+
+// CountMerkleMismatch records one closure whose persisted Merkle root failed
+// verification against the provenance actually read back — previously only
+// the caller of VerifyAncestry could see this.
+func (m *Meter) CountMerkleMismatch() {
+	m.mu.Lock()
+	m.merkleMismatches++
+	m.mu.Unlock()
+}
+
 // AddMachineSeconds records SimpleDB machine-seconds consumed.
 func (m *Meter) AddMachineSeconds(s float64) {
 	m.mu.Lock()
@@ -254,6 +298,17 @@ type Usage struct {
 	CommitNotices      int64
 	CacheInvalidations int64
 	CoherenceHits      int64
+	// LogAppends, LogHeads, LogProofs and LogAudits track the transparency
+	// log: leaves appended by the sequencer, signed tree heads persisted,
+	// proofs served, and auditor passes completed.
+	LogAppends int64
+	LogHeads   int64
+	LogProofs  int64
+	LogAudits  int64
+	// MerkleMismatches counts closures whose pinned Merkle root failed
+	// verification against the provenance read back (MerkleReport.Verified
+	// false with a root present).
+	MerkleMismatches int64
 }
 
 // Usage returns a copy of the meter's counters.
@@ -279,6 +334,11 @@ func (m *Meter) Usage() Usage {
 		CommitNotices:      m.commitNotices,
 		CacheInvalidations: m.invalidations,
 		CoherenceHits:      m.coherenceHits,
+		LogAppends:         m.logAppends,
+		LogHeads:           m.logHeads,
+		LogProofs:          m.logProofs,
+		LogAudits:          m.logAudits,
+		MerkleMismatches:   m.merkleMismatches,
 	}
 	for c := CostClass(0); c < numCostClasses; c++ {
 		if m.requests[c] != 0 {

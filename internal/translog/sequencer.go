@@ -1,0 +1,112 @@
+package translog
+
+import (
+	"errors"
+	"time"
+
+	"passcloud/internal/core"
+	"passcloud/internal/uuid"
+)
+
+// The sequencer: the commit-bus subscription that grows the tree, and the
+// background daemon that periodically makes it durable.
+//
+// The bus delivers commits synchronously in publication order, under the
+// bus lock, so ingestion must be cheap and must not touch the simulated
+// services: Ingest only appends leaves (one SHA-256 per transaction) and
+// defers all persistence to Checkpoint.
+
+// Attach subscribes the log to the deployment's commit bus and returns the
+// unsubscribe function. Every subsequent committed transaction becomes a
+// leaf; notices without a transaction uuid (P2 commits) carry no history to
+// log and are skipped.
+func (l *Log) Attach(bus *core.CommitBus) func() {
+	return bus.Subscribe(func(n core.CommitNotice) int64 {
+		l.Ingest(n)
+		return 0
+	})
+}
+
+// Ingest folds one commit notice into the tree. Redelivered transactions
+// (an idempotently re-committed group republishes) are deduplicated by txn
+// uuid, so ingestion is idempotent like the commit path it observes.
+func (l *Log) Ingest(n core.CommitNotice) {
+	if len(n.Txns) == 0 {
+		return
+	}
+	// Attribute the notice's items to their transactions in one pass.
+	perTxn := make(map[uuid.UUID][]LeafItem, len(n.Txns))
+	for _, it := range n.Items {
+		perTxn[it.Txn] = append(perTxn[it.Txn], LeafItem{Name: it.Name, Digest: ItemDigest(it.Attrs)})
+	}
+	now := l.env.Now().Nanoseconds()
+
+	l.mu.Lock()
+	appended := 0
+	for i, txn := range n.Txns {
+		if _, dup := l.byTxn[txn]; dup {
+			continue
+		}
+		items := perTxn[txn]
+		// Canonical order: sorted by name, independent of put order.
+		sortLeafItems(items)
+		lf := Leaf{
+			Index:    len(l.leaves),
+			Txn:      txn.String(),
+			Epoch:    n.Epoch,
+			SimNanos: now,
+			Items:    items,
+		}
+		if i < len(n.Digests) {
+			lf.Closure = n.Digests[i]
+		}
+		l.byTxn[txn] = lf.Index
+		l.leaves = append(l.leaves, lf)
+		l.hashes = append(l.hashes, lf.Hash())
+		appended++
+	}
+	if n.Seq > l.busSeq {
+		l.busSeq = n.Seq
+	}
+	l.mu.Unlock()
+	if appended > 0 {
+		l.env.Meter().AddLogAppends(int64(appended))
+	}
+}
+
+// sortLeafItems orders a leaf's items by name (names are unique within a
+// transaction — items are immutable uuid_version rows).
+func sortLeafItems(items []LeafItem) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].Name < items[j-1].Name; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// Run is the sequencer daemon: it checkpoints every interval until stop is
+// closed, then takes a final checkpoint so everything ingested is durable.
+// Transient checkpoint failures (an injected fault, a simulated crash) are
+// absorbed — every stage is idempotent, so the next tick rolls forward.
+func (l *Log) Run(stop <-chan struct{}, every time.Duration) {
+	for {
+		select {
+		case <-stop:
+			l.checkpointAbsorbing()
+			return
+		default:
+		}
+		l.env.Clock().Sleep(every)
+		l.checkpointAbsorbing()
+	}
+}
+
+// checkpointAbsorbing runs one checkpoint, swallowing the retryable
+// failures the daemon loop is expected to ride out.
+func (l *Log) checkpointAbsorbing() {
+	if _, err := l.Checkpoint(); err != nil && !errors.Is(err, ErrCrashed) {
+		// Transient service failure: durable state is a consistent prefix;
+		// the next tick resumes from the cursors.
+		_ = err
+	}
+}
