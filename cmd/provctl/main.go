@@ -628,8 +628,13 @@ func main() {
 				}
 				fmt.Printf("  leaf commits %d item(s) at epoch %d\n", len(p.Leaf.Items), p.Leaf.Epoch)
 			case "audit":
-				if _, err := tlog.Checkpoint(); err != nil {
+				head, err := tlog.Checkpoint()
+				if err != nil {
 					fmt.Println("checkpoint error:", err)
+					continue
+				}
+				if head.TreeSize == 0 {
+					fmt.Println("transparency log empty (only P3 commits are sequenced); skipping fabric diff")
 					continue
 				}
 				rep, err := translog.Audit(dep, tlog, translog.AuditOptions{})

@@ -3,6 +3,7 @@ package translog
 import (
 	"crypto/ed25519"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -151,6 +152,14 @@ type Log struct {
 	prefix string
 	key    ed25519.PrivateKey
 
+	// ckptMu serializes whole Checkpoint runs (and the TamperDropLeaf hook,
+	// which rewinds the cursors Checkpoint stages read). The daemon tick and
+	// explicit Checkpoint calls run concurrently; without this a slow run
+	// captured at size N could resume after a faster one finished at M>N and
+	// overwrite its durable state with a truncated prefix. Lock order:
+	// ckptMu before mu, never the reverse.
+	ckptMu sync.Mutex
+
 	mu     sync.Mutex
 	leaves []Leaf
 	hashes []merkle.Digest
@@ -270,6 +279,9 @@ func (l *Log) headKey(size int) string {
 // byte-identical to what an uninterrupted run would have signed, because
 // heads depend only on leaf content.
 func (l *Log) Checkpoint() (SignedHead, error) {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
 	if err, _ := l.env.FaultPoint("translog", "translog.Checkpoint", true); err != nil {
 		return SignedHead{}, err
 	}
@@ -550,6 +562,8 @@ func (l *Log) RootAt(n int) (merkle.Digest, error) {
 // witnessed before the tamper, and the excised transaction's fabric items
 // become "unlogged".
 func (l *Log) TamperDropLeaf(txn uuid.UUID) bool {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	i, ok := l.byTxn[txn]
@@ -572,9 +586,12 @@ func (l *Log) TamperDropLeaf(txn uuid.UUID) bool {
 }
 
 // ItemDigest is the canonical digest of an item's attributes as stored: a
-// SHA-256 over the (name, value) pairs sorted by name then value. The
-// sequencer digests what the commit notice carried; the auditor digests
-// what the fabric serves; history was rewritten exactly when they differ.
+// SHA-256 over the (name, value) pairs sorted by name then value, each
+// field varint-length-prefixed so the encoding is injective — no attribute
+// set can collide with a differently-split one, which matters when the
+// digest is the tamper-evidence boundary. The sequencer digests what the
+// commit notice carried; the auditor digests what the fabric serves;
+// history was rewritten exactly when they differ.
 func ItemDigest(attrs []sdb.Attr) string {
 	sorted := append([]sdb.Attr(nil), attrs...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -584,11 +601,12 @@ func ItemDigest(attrs []sdb.Attr) string {
 		return sorted[i].Value < sorted[j].Value
 	})
 	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
 	for _, a := range sorted {
+		h.Write(buf[:binary.PutUvarint(buf[:], uint64(len(a.Name)))])
 		h.Write([]byte(a.Name))
-		h.Write([]byte{0})
+		h.Write(buf[:binary.PutUvarint(buf[:], uint64(len(a.Value)))])
 		h.Write([]byte(a.Value))
-		h.Write([]byte{1})
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
