@@ -684,6 +684,44 @@ func BenchmarkTranslog(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoscale runs the load-ramp comparison: the same steady→surge→
+// sustain arrival schedule against a controller-managed fabric, a static K=1
+// twin, and a steady-load negative control. The acceptance gates live in
+// internal/bench's TestAutoscaleGate; the benchmark measures at the larger
+// default scale and records everything.
+func BenchmarkAutoscale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := bench.AutoscaleCompare(benchSeed, bench.AutoscaleBenchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// A run that loses commits or flaps under steady load is broken
+		// measurement, not a slow result — fail even here.
+		if cmp.Managed.ItemCount != cmp.Managed.Events {
+			b.Fatalf("managed run lost commits: items=%d events=%d", cmp.Managed.ItemCount, cmp.Managed.Events)
+		}
+		if f := cmp.SteadyControl.Grows + cmp.SteadyControl.Shrinks; f != 0 {
+			b.Fatalf("steady control flapped %d times", f)
+		}
+		b.ReportMetric(cmp.ManagedRatio, "managed-sustain-over-steady")
+		b.ReportMetric(cmp.StaticRatio, "static-sustain-over-steady")
+		b.ReportMetric(cmp.Managed.PhaseP99("sustain"), "p99-sustain-ms-managed")
+		b.ReportMetric(cmp.Static.PhaseP99("sustain"), "p99-sustain-ms-static")
+		b.ReportMetric(float64(cmp.Managed.FinalK), "final-k-managed")
+		out, err := json.MarshalIndent(map[string]any{
+			"benchmark": "BenchmarkAutoscale",
+			"command":   "go test -run=- -bench=BenchmarkAutoscale -benchtime=1x",
+			"result":    cmp,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_autoscale.json", out, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig3Micro runs the protocol microbenchmark (Figure 3).
 func BenchmarkFig3Micro(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -25,6 +25,12 @@
 //	props                probe the Table-1 properties of this protocol
 //	topology             show the fabric topology: epochs, ranges, shard load
 //	reshard <K>          grow/shrink the live fabric to K WAL+domain shards
+//	autoscale [status]   show the autoscale controller's counters, window and
+//	                     open decision record
+//	autoscale on|off     enable/disable the controller (created on first use)
+//	autoscale step [dur] advance the sim clock by dur (default 10s) and run
+//	                     one controller step — the REPL clock is manual, so
+//	                     steps are driven by hand instead of a daemon loop
 //	faults [p|off]       arm a uniform transient-fault plan / show fault and
 //	                     retry counters (injected faults, per-endpoint split,
 //	                     resilient-client retries, hedges, breaker opens)
@@ -68,6 +74,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"passcloud/internal/autoscale"
 	"passcloud/internal/bench"
 	"passcloud/internal/core"
 	"passcloud/internal/frontdoor"
@@ -220,8 +227,9 @@ func main() {
 
 	backend := core.BackendOf(proto)
 	eng := query.New(dep, backend)
-	chaosProb := 0.0          // the armed uniform fault probability (0 = disarmed)
-	var door *frontdoor.Door // created on first `tenants demo`
+	chaosProb := 0.0              // the armed uniform fault probability (0 = disarmed)
+	var door *frontdoor.Door      // created on first `tenants demo`
+	var ctl *autoscale.Controller // created on first `autoscale` command
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("provctl> ")
@@ -243,7 +251,7 @@ func main() {
 			fmt.Println("ls [prefix] | stat <path> | prov <path> | ancestry <path> |")
 			fmt.Println("outputs <program> | descendants <program> | query <spec...> | plan <spec...> |")
 			fmt.Println("cache [n|off|stats|sub|unsub|bound <dur>] | pushdown [on|off] |")
-			fmt.Println("verify <path> | props | topology | reshard <K> |")
+			fmt.Println("verify <path> | props | topology | reshard <K> | autoscale [status|on|off|step [dur]] |")
 			fmt.Println("faults [p|off] | tenants [stats|demo] | log [head|prove <path|txn>|audit] | bill | quit")
 			fmt.Println("spec tokens: path:<p> uuid:<u> ref:<r> attr:<a>=<v> dir=<d> depth=<n>")
 			fmt.Println("             filter=type:<t>|name:<v>|attr:<a>=<v> project=refs|bundles workers=<n>")
@@ -441,6 +449,60 @@ func main() {
 			fmt.Printf("resharded %dx%d -> %dx%d (epoch %d): copied %d items, GC'd %d, moved %d WAL messages\n",
 				stats.From.WALShards, stats.From.DBShards, stats.To.WALShards, stats.To.DBShards,
 				stats.Epoch, stats.CopiedItems, stats.GCItems, stats.WALMigrated)
+		case "autoscale":
+			if ctl == nil {
+				ctl = autoscale.New(dep, autoscale.Config{})
+			}
+			switch arg {
+			case "on":
+				ctl.Enable()
+				fmt.Println("autoscale: enabled")
+			case "off":
+				ctl.Disable()
+				fmt.Println("autoscale: disabled")
+			case "step":
+				window := 10 * time.Second
+				if len(fields) > 2 {
+					d, err := time.ParseDuration(fields[2])
+					if err != nil || d <= 0 {
+						fmt.Println("usage: autoscale step [dur]  (e.g. 10s, 1m)")
+						continue
+					}
+					window = d
+				}
+				if !ctl.Enabled() {
+					fmt.Println(`autoscale is off; "autoscale on" first`)
+					continue
+				}
+				env.Clock().Advance(window)
+				if err := ctl.Step(context.Background()); err != nil {
+					fmt.Println("step error:", err)
+					continue
+				}
+				fallthrough
+			case "", "status":
+				s := ctl.Status()
+				state := "off"
+				if s.Enabled {
+					state = "on"
+				}
+				fmt.Printf("controller: %s, fabric K=%d\n", state, s.K)
+				fmt.Printf("samples %d | grows %d shrinks %d holds %d deferred %d\n",
+					s.Samples, s.Grows, s.Shrinks, s.Holds, s.Deferred)
+				if s.Window > 0 {
+					fmt.Printf("last window: %s, %.1f ops/s/shard, max WAL backlog %d\n",
+						s.Window, s.RatePerShard, s.MaxBacklog)
+				}
+				if r := s.Record; r != nil {
+					fmt.Printf("decision record #%d: %s K %d->%d (%s)\n",
+						r.Seq, r.State, r.FromK, r.TargetK, r.Reason)
+				}
+				if s.LastErr != "" {
+					fmt.Println("last error:", s.LastErr)
+				}
+			default:
+				fmt.Println("usage: autoscale [status|on|off|step [dur]]")
+			}
 		case "faults":
 			switch arg {
 			case "", "stats":

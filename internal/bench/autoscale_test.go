@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+// The gate runs the three ramps once (managed, static K=1, steady-load
+// control) and every assertion reads from the shared result, mirroring the
+// tenants gate idiom. Scale 10 keeps wall-clock scheduler noise far below
+// the modelled latencies so the p99 ratios are load, not jitter.
+var (
+	autoscaleGateOnce sync.Once
+	autoscaleGateCmp  AutoscaleComparison
+	autoscaleGateErr  error
+)
+
+func autoscaleGate(t *testing.T) AutoscaleComparison {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("autoscale load ramp skipped in -short mode")
+	}
+	autoscaleGateOnce.Do(func() {
+		autoscaleGateCmp, autoscaleGateErr = AutoscaleCompare(1, 10)
+	})
+	if autoscaleGateErr != nil {
+		t.Fatalf("AutoscaleCompare: %v", autoscaleGateErr)
+	}
+	return autoscaleGateCmp
+}
+
+// TestAutoscaleGate is the acceptance gate: under the same surge the
+// controller-managed fabric keeps sustain p99 within BoundRatio of its own
+// steady-state p99, while the static K=1 twin blows through the bound.
+func TestAutoscaleGate(t *testing.T) {
+	cmp := autoscaleGate(t)
+
+	if cmp.Managed.Grows < 1 || cmp.Managed.FinalK <= 1 {
+		t.Fatalf("managed run never grew: grows=%d finalK=%d", cmp.Managed.Grows, cmp.Managed.FinalK)
+	}
+	if cmp.ManagedRatio > cmp.BoundRatio {
+		t.Fatalf("managed sustain p99 = %.2fx steady (bound %.1fx): steady %.0fms sustain %.0fms",
+			cmp.ManagedRatio, cmp.BoundRatio,
+			cmp.Managed.PhaseP99("steady"), cmp.Managed.PhaseP99("sustain"))
+	}
+	if cmp.Static.FinalK != 1 {
+		t.Fatalf("static twin resharded to K=%d", cmp.Static.FinalK)
+	}
+	if cmp.StaticRatio <= cmp.BoundRatio {
+		t.Fatalf("static K=1 sustain p99 = %.2fx steady; expected it to exceed the %.1fx bound — the surge is too gentle to prove anything",
+			cmp.StaticRatio, cmp.BoundRatio)
+	}
+}
+
+// TestAutoscaleSteadyControlNoFlaps is the negative control: a controller
+// watching perfectly steady in-band load must never reshard.
+func TestAutoscaleSteadyControlNoFlaps(t *testing.T) {
+	cmp := autoscaleGate(t)
+
+	sc := cmp.SteadyControl
+	if sc.Grows+sc.Shrinks != 0 {
+		t.Fatalf("steady control flapped: grows=%d shrinks=%d", sc.Grows, sc.Shrinks)
+	}
+	if sc.FinalK != 1 {
+		t.Fatalf("steady control finalK=%d, want 1", sc.FinalK)
+	}
+}
+
+// TestAutoscaleRampIntegrity pins that measurement never compromises
+// durability: every committed event is readable and the fabric audits clean
+// on all three runs, managed reshards included.
+func TestAutoscaleRampIntegrity(t *testing.T) {
+	cmp := autoscaleGate(t)
+
+	for _, run := range []struct {
+		name string
+		r    AutoscaleRun
+	}{
+		{"managed", cmp.Managed},
+		{"static", cmp.Static},
+		{"steady_control", cmp.SteadyControl},
+	} {
+		if run.r.ItemCount != run.r.Events {
+			t.Errorf("%s: item count %d != events %d", run.name, run.r.ItemCount, run.r.Events)
+		}
+		if run.r.Misplaced != 0 || run.r.Duplicates != 0 {
+			t.Errorf("%s: audit misplaced=%d duplicates=%d", run.name, run.r.Misplaced, run.r.Duplicates)
+		}
+	}
+}

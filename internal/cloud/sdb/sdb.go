@@ -149,6 +149,14 @@ func (d *Domain) SetResilience(c *resilient.Client) {
 	d.resMu.Unlock()
 }
 
+// Resilience returns the installed retry layer, or nil — regression tests
+// use it to prove domains born mid-reshard inherit the set's client.
+func (d *Domain) Resilience() *resilient.Client {
+	d.resMu.Lock()
+	defer d.resMu.Unlock()
+	return d.res
+}
+
 // retry routes one request attempt through the resilient client, if any.
 func (d *Domain) retry(op func() error) error {
 	d.resMu.Lock()

@@ -65,6 +65,7 @@ func NewSet(env *sim.Env, base string, k int) *DomainSet {
 	}
 	s := &DomainSet{env: env, base: base, bareZero: k == 1}
 	s.ep = sim.NewEpochSet(k, s.growLocked)
+	s.ep.OnShrink(s.trimLocked)
 	return s
 }
 
@@ -87,6 +88,23 @@ func (s *DomainSet) growLocked(k int) {
 		d.SetResilience(s.res)
 		s.shards = append(s.shards, d)
 	}
+}
+
+// trimLocked releases the emptied domain slots beyond k after a shrink's GC
+// (called under the epoch-set lock). The slice is copied, not truncated in
+// place: DomainViews captured before the shrink alias the old backing array
+// (viewFrom slices it), and a later grow must not append over their tails.
+func (s *DomainSet) trimLocked(k int) {
+	s.shards = append([]*Domain(nil), s.shards[:k]...)
+}
+
+// Slots reports how many shard slots are materialized, live or not —
+// observability for the bounded-retention invariant (retired slots must be
+// released, not accumulated, across repeated reshard cycles).
+func (s *DomainSet) Slots() int {
+	n := 0
+	s.ep.Locked(func() { n = len(s.shards) })
+	return n
 }
 
 // Env returns the environment the set charges against.

@@ -58,6 +58,7 @@ func NewSet(env *sim.Env, base string, k int) *QueueSet {
 		retention:  DefaultRetention,
 	}
 	s.ep = sim.NewEpochSet(k, s.growLocked)
+	s.ep.OnShrink(s.trimLocked)
 	return s
 }
 
@@ -79,6 +80,14 @@ func (s *QueueSet) growLocked(k int) {
 		q.SetResilience(s.res)
 		s.shards = append(s.shards, q)
 	}
+}
+
+// trimLocked releases the drained queue slots beyond k after a shrink
+// (called under the epoch-set lock). The slice is copied, not truncated in
+// place: snapshots taken by queues() before the shrink may still alias the
+// old backing array, and a later grow must not append over their tails.
+func (s *QueueSet) trimLocked(k int) {
+	s.shards = append([]*Queue(nil), s.shards[:k]...)
 }
 
 // Env returns the environment the set charges against.
@@ -196,6 +205,26 @@ func (s *QueueSet) Len() int {
 	for _, q := range s.queues() {
 		n += q.Len()
 	}
+	return n
+}
+
+// ShardBacklog reports each live shard's undeleted, unexpired message count,
+// keyed by service queue name — the per-shard WAL backlog signal the
+// autoscale sampler surfaces as meter gauges.
+func (s *QueueSet) ShardBacklog() map[string]int {
+	out := make(map[string]int)
+	for _, q := range s.queues() {
+		out[q.Name()] = q.Len()
+	}
+	return out
+}
+
+// Slots reports how many shard slots are materialized, live or not —
+// observability for the bounded-retention invariant (retired slots must be
+// released, not accumulated, across repeated reshard cycles).
+func (s *QueueSet) Slots() int {
+	n := 0
+	s.ep.Locked(func() { n = len(s.shards) })
 	return n
 }
 

@@ -125,6 +125,14 @@ func (q *Queue) SetResilience(c *resilient.Client) {
 	q.resMu.Unlock()
 }
 
+// Resilience returns the installed retry layer, or nil — regression tests
+// use it to prove queues born mid-reshard inherit the set's client.
+func (q *Queue) Resilience() *resilient.Client {
+	q.resMu.Lock()
+	defer q.resMu.Unlock()
+	return q.res
+}
+
 // retry routes one request attempt through the resilient client, if any.
 func (q *Queue) retry(op func() error) error {
 	q.resMu.Lock()

@@ -262,7 +262,10 @@ func (d *Deployment) Reshard(ctx context.Context, target Topology) (ReshardStats
 
 	// Phase 1 — prepare: open the epoch transitions (idempotent: an open
 	// migration to the same target resumes) and persist the control object
-	// before the window becomes load-bearing.
+	// before the window becomes load-bearing. A grow splits the hottest
+	// hash ranges: unless a controller already staged windowed load hints,
+	// derive them from the meter's cumulative per-endpoint op counts.
+	d.installSplitLoads(target)
 	_, _, dbDone := d.DB.BeginMigration(target.DBShards)
 	_, _, walDone := d.WAL.BeginMigration(target.WALShards)
 	if dbDone && walDone {
@@ -327,6 +330,42 @@ func (d *Deployment) Reshard(ctx context.Context, target Topology) (ReshardStats
 	stats.GCItems, stats.WALMigrated = gcItems, walMoved
 	stats.Epoch = d.DB.Directory().Epoch()
 	return stats, err
+}
+
+// installSplitLoads stages per-shard op counts as split-load hints on any
+// axis about to grow, so BeginMigration splits the hottest range rather than
+// the widest. A hint a controller staged first (windowed deltas, a better
+// signal than lifetime totals) is left alone; axes that are shrinking,
+// already migrating, or have seen no traffic get none — the widest-range
+// fallback keeps the historical geometry.
+func (d *Deployment) installSplitLoads(target Topology) {
+	u := d.Env.Meter().Usage()
+	stage := func(dir *sim.Directory, toK int, name func(int) string, k int) {
+		if dir.Migrating() || dir.HasSplitLoad() || toK <= dir.Active().Shards {
+			return
+		}
+		load := make(map[int]int64, k)
+		total := int64(0)
+		for i := 0; i < k; i++ {
+			load[i] = u.OpsByEndpoint[name(i)]
+			total += load[i]
+		}
+		if total > 0 {
+			dir.SetSplitLoad(load)
+		}
+	}
+	stage(d.DB.Directory(), target.DBShards, func(i int) string {
+		if s := d.DB.Shard(i); s != nil {
+			return s.Name()
+		}
+		return ""
+	}, d.DB.Shards())
+	stage(d.WAL.Directory(), target.WALShards, func(i int) string {
+		if s := d.WAL.Shard(i); s != nil {
+			return s.Name()
+		}
+		return ""
+	}, d.WAL.Shards())
 }
 
 // reshardCopy streams every item whose target-epoch home differs from its

@@ -38,9 +38,10 @@ import "sync"
 // structure; core persists a snapshot of it as an S3 control object so a
 // restarted resharder can prove which epoch the fabric is in.
 type Directory struct {
-	mu     sync.RWMutex
-	active DirEpoch
-	target *DirEpoch
+	mu        sync.RWMutex
+	active    DirEpoch
+	target    *DirEpoch
+	splitLoad map[int]int64
 }
 
 // DirRange assigns one contiguous hash range to a shard. The range starts at
@@ -119,30 +120,111 @@ func (e DirEpoch) span(i int) uint64 {
 }
 
 // grow derives the epoch that follows e with k > e.Shards shards: each new
-// shard id takes the upper half of the currently widest range (ties to the
-// lowest Start), so existing keys either stay put or move to a new shard.
-func (e DirEpoch) grow(id, k int) DirEpoch {
+// shard id takes the upper half of one existing range, so existing keys
+// either stay put or move to a new shard (the consistent-hashing minimal-
+// movement property holds regardless of which range splits).
+//
+// Which range splits is the load policy. With per-shard op counts (load),
+// each range is weighted by the traffic it carries — a shard's ops spread
+// over its owned span, so heat(range) = ops(owner) * span / ownedSpan(owner)
+// — and the *hottest* range splits (ties: the widest, then the lowest
+// Start). Without load hints (nil, empty, or all-zero), the policy falls
+// back to the historical widest-range split, byte-identical to the old
+// behavior, so key-count-balanced deployments keep their pinned geometry.
+func (e DirEpoch) grow(id, k int, load map[int]int64) DirEpoch {
 	next := DirEpoch{ID: id, Shards: k, Ranges: append([]DirRange(nil), e.Ranges...)}
+	// Ops per unit of hash span for each of e's ranges, attributed by the
+	// pre-grow owner. Splitting a range hands the upper half (and its share
+	// of the heat) to the new shard, so both halves keep the density.
+	var density []float64
+	total := int64(0)
+	for _, v := range load {
+		total += v
+	}
+	if total > 0 {
+		owned := make(map[int]uint64, e.Shards)
+		for i := range e.Ranges {
+			owned[e.Ranges[i].Shard] += e.span(i)
+		}
+		density = make([]float64, 0, len(e.Ranges))
+		for _, r := range e.Ranges {
+			density = append(density, float64(load[r.Shard])/float64(owned[r.Shard]))
+		}
+	}
 	for shard := e.Shards; shard < k; shard++ {
-		widest := 0
-		for i := 1; i < len(next.Ranges); i++ {
-			if next.span(i) > next.span(widest) {
-				widest = i
+		best := -1
+		for i := range next.Ranges {
+			if next.span(i) < 2 {
+				continue // a single-hash range cannot split
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			if density != nil {
+				hi := float64(next.span(i)) * density[i]
+				hb := float64(next.span(best)) * density[best]
+				if hi != hb {
+					if hi > hb {
+						best = i
+					}
+					continue
+				}
+			}
+			if next.span(i) > next.span(best) {
+				best = i
 			}
 		}
-		mid := uint32(uint64(next.Ranges[widest].Start) + next.span(widest)/2)
+		if best < 0 {
+			break // every range is one hash wide; nothing left to split
+		}
+		mid := uint32(uint64(next.Ranges[best].Start) + next.span(best)/2)
 		split := DirRange{Start: mid, Shard: shard}
 		next.Ranges = append(next.Ranges, DirRange{})
-		copy(next.Ranges[widest+2:], next.Ranges[widest+1:])
-		next.Ranges[widest+1] = split
+		copy(next.Ranges[best+2:], next.Ranges[best+1:])
+		next.Ranges[best+1] = split
+		if density != nil {
+			density = append(density, 0)
+			copy(density[best+2:], density[best+1:])
+			density[best+1] = density[best]
+		}
 	}
 	return next
 }
 
+// maxShrinkRanges bounds a folded epoch's fragmentation: when the modulo
+// fold would leave more ranges than this, shrink re-folds decommissioned
+// ranges onto an adjacent survivor instead, which coalesces whole runs.
+// The bound is generous enough that any single transition from an even
+// layout (at most one range per pre-shrink shard, MaxShards 64) stays on
+// the modulo path, so the historical geometry is preserved everywhere the
+// equivalence suites pin it.
+func maxShrinkRanges(k int) int { return 64 + 8*k }
+
 // shrink derives the epoch that follows e with k < e.Shards shards: ranges
 // owned by a decommissioned shard (id >= k) fold onto survivor id%k, and
-// adjacent ranges with the same owner coalesce. Keys on survivors never move.
+// adjacent ranges with the same owner coalesce. Keys on survivors never
+// move.
+//
+// The modulo fold spreads a decommissioned shard's load across survivors
+// but can fragment: repeated load-aware grow/shrink cycles interleave
+// owners so adjacent ranges rarely coalesce, and the range list creeps up
+// without bound. When the folded epoch exceeds maxShrinkRanges, shrink
+// instead folds each decommissioned range onto the owner of its nearest
+// surviving neighbor to the left (the first survivor to the right for a
+// leading run), which collapses every run of decommissioned ranges into
+// its neighbor and caps the result at the survivor-owned range count.
+// Both folds keep every key on a surviving shard exactly where it was.
 func (e DirEpoch) shrink(id, k int) DirEpoch {
+	next := e.foldModulo(id, k)
+	if len(next.Ranges) > maxShrinkRanges(k) {
+		next = e.foldNeighbor(id, k)
+	}
+	return next
+}
+
+// foldModulo reassigns decommissioned ranges to survivor id%k.
+func (e DirEpoch) foldModulo(id, k int) DirEpoch {
 	next := DirEpoch{ID: id, Shards: k}
 	for _, r := range e.Ranges {
 		if r.Shard >= k {
@@ -150,6 +232,40 @@ func (e DirEpoch) shrink(id, k int) DirEpoch {
 		}
 		if n := len(next.Ranges); n > 0 && next.Ranges[n-1].Shard == r.Shard {
 			continue // coalesce with the previous range
+		}
+		next.Ranges = append(next.Ranges, r)
+	}
+	return next
+}
+
+// foldNeighbor reassigns each decommissioned range to the owner of the
+// nearest surviving range to its left (to its right for a leading run), so
+// consecutive decommissioned ranges coalesce into one surviving neighbor.
+// Every epoch assigns each shard at least one range, so both sweeps find an
+// owner < k.
+func (e DirEpoch) foldNeighbor(id, k int) DirEpoch {
+	owners := make([]int, len(e.Ranges))
+	left := -1
+	for i, r := range e.Ranges {
+		if r.Shard < k {
+			left = r.Shard
+		}
+		owners[i] = left
+	}
+	right := -1
+	for i := len(e.Ranges) - 1; i >= 0; i-- {
+		if e.Ranges[i].Shard < k {
+			right = e.Ranges[i].Shard
+		}
+		if owners[i] < 0 {
+			owners[i] = right
+		}
+	}
+	next := DirEpoch{ID: id, Shards: k}
+	for i, r := range e.Ranges {
+		r.Shard = owners[i]
+		if n := len(next.Ranges); n > 0 && next.Ranges[n-1].Shard == r.Shard {
+			continue
 		}
 		next.Ranges = append(next.Ranges, r)
 	}
@@ -269,6 +385,32 @@ func (d *Directory) LiveShards() int {
 	return n
 }
 
+// SetSplitLoad installs a one-shot load hint for the next grow transition:
+// per-shard op counts (windowed deltas from the meter, typically) that the
+// split policy uses to pick the hottest range instead of the widest. The
+// hint is consumed — or discarded, for a resume, a no-op, or a shrink — by
+// the next BeginMigration, so stale traffic never skews a later, unrelated
+// transition. A nil, empty, or all-zero hint leaves the widest-range
+// fallback in force.
+func (d *Directory) SetSplitLoad(load map[int]int64) {
+	cp := make(map[int]int64, len(load))
+	for s, v := range load {
+		cp[s] = v
+	}
+	d.mu.Lock()
+	d.splitLoad = cp
+	d.mu.Unlock()
+}
+
+// HasSplitLoad reports whether a split-load hint is pending — callers that
+// derive a default hint from cumulative counters use it to avoid clobbering
+// a controller's windowed one.
+func (d *Directory) HasSplitLoad() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.splitLoad != nil
+}
+
 // BeginMigration opens an epoch transition to k shards and returns the
 // target epoch. Calling it again with the same k resumes the in-flight
 // migration (resumed true); if the active epoch already has k shards and no
@@ -277,6 +419,8 @@ func (d *Directory) LiveShards() int {
 func (d *Directory) BeginMigration(k int) (target DirEpoch, resumed, done bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	load := d.splitLoad
+	d.splitLoad = nil // one-shot: consumed or discarded by this transition
 	if d.target != nil {
 		if d.target.Shards != k {
 			panic("sim: directory migration already in flight to a different width")
@@ -288,7 +432,7 @@ func (d *Directory) BeginMigration(k int) (target DirEpoch, resumed, done bool) 
 	}
 	var next DirEpoch
 	if k > d.active.Shards {
-		next = d.active.grow(d.active.ID+1, k)
+		next = d.active.grow(d.active.ID+1, k, load)
 	} else {
 		next = d.active.shrink(d.active.ID+1, k)
 	}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// hashInterval returns the half-open hash intervals a shard owns in an
+// epoch, as (start, end) pairs with end exclusive (hashSpace for the last).
+func hashIntervals(e DirEpoch, shard int) [][2]uint64 {
+	var out [][2]uint64
+	for i, r := range e.Ranges {
+		if r.Shard != shard {
+			continue
+		}
+		end := uint64(hashSpace)
+		if i+1 < len(e.Ranges) {
+			end = uint64(e.Ranges[i+1].Start)
+		}
+		out = append(out, [2]uint64{uint64(r.Start), end})
+	}
+	return out
+}
+
+// TestDirectoryHottestSplitTargetsHotRange pins the load-blindness fix: with
+// a split-load hint the new shard's range is carved out of the hot shard's
+// span, not the widest one, and the pinned grow geometry still holds.
+func TestDirectoryHottestSplitTargetsHotRange(t *testing.T) {
+	for _, hot := range []int{0, 1} {
+		d := NewDirectory(2)
+		old := d.Active()
+		d.SetSplitLoad(map[int]int64{hot: 1 << 20, 1 - hot: 1})
+		target, _, done := d.BeginMigration(3)
+		if done {
+			t.Fatal("grow 2->3 reported done")
+		}
+		checkEpochInvariants(t, target)
+
+		hotSpans := hashIntervals(old, hot)
+		newSpans := hashIntervals(target, 2)
+		if len(newSpans) == 0 {
+			t.Fatal("new shard owns nothing")
+		}
+		for _, ns := range newSpans {
+			inside := false
+			for _, hs := range hotSpans {
+				if ns[0] >= hs[0] && ns[1] <= hs[1] {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				t.Fatalf("hot=%d: new shard's range %v not carved from the hot shard's spans %v",
+					hot, ns, hotSpans)
+			}
+		}
+
+		// Grow minimal movement survives the hint: keys either stay home or
+		// land on the brand-new shard.
+		for k := 0; k < 4000; k++ {
+			key := fmt.Sprintf("%08x-hot0-4bee-8f00-%012x", k, k*7919)
+			a, b := old.Route(key), target.Route(key)
+			if a != b && b != 2 {
+				t.Fatalf("hot=%d: grow shuffled %q between old shards %d->%d", hot, key, a, b)
+			}
+		}
+		d.Cutover()
+	}
+}
+
+// TestDirectoryNilLoadGrowMatchesWidest pins the fallback: with no hint (or
+// an all-zero one) the grow must produce byte-identical geometry to the
+// historical widest-range split, so statically resharded deployments keep
+// their digests.
+func TestDirectoryNilLoadGrowMatchesWidest(t *testing.T) {
+	widths := []int{1, 3, 5, 9}
+	plain := NewDirectory(widths[0])
+	hinted := NewDirectory(widths[0])
+	for _, k := range widths[1:] {
+		plain.BeginMigration(k)
+		plain.Cutover()
+		hinted.SetSplitLoad(map[int]int64{0: 0, 1: 0}) // all-zero: no signal
+		hinted.BeginMigration(k)
+		hinted.Cutover()
+		p, h := plain.Active(), hinted.Active()
+		if !reflect.DeepEqual(p.Ranges, h.Ranges) {
+			t.Fatalf("grow to %d diverged from widest-split geometry:\nplain:  %+v\nhinted: %+v",
+				k, p.Ranges, h.Ranges)
+		}
+	}
+}
+
+// TestDirectoryRepeatedCyclesBounded is the satellite-3 invariant: 20
+// consecutive skew-hinted grow/shrink cycles must not accumulate unbounded
+// range fragments, and every transition must keep the pinned stability
+// properties (grow never shuffles among old shards, shrink never moves keys
+// off survivors).
+func TestDirectoryRepeatedCyclesBounded(t *testing.T) {
+	const loK, hiK, cycles = 2, 5, 20
+	bound := maxShrinkRanges(hiK)
+	d := NewDirectory(loK)
+
+	keys := make([]string, 3000)
+	for k := range keys {
+		keys[k] = fmt.Sprintf("%08x-cafe-4bee-8f00-%012x", k, k*104729)
+	}
+	transition := func(toK int, load map[int]int64) {
+		t.Helper()
+		old := d.Active()
+		if load != nil {
+			d.SetSplitLoad(load)
+		}
+		if _, _, done := d.BeginMigration(toK); done {
+			t.Fatalf("migration %d->%d reported done", old.Shards, toK)
+		}
+		next := d.Cutover()
+		checkEpochInvariants(t, next)
+		if got := len(next.Ranges); got > bound {
+			t.Fatalf("epoch %d (%d shards): %d ranges exceeds retention bound %d",
+				next.ID, next.Shards, got, bound)
+		}
+		for _, key := range keys {
+			a, b := old.Route(key), next.Route(key)
+			if toK > old.Shards {
+				if a != b && b < old.Shards {
+					t.Fatalf("epoch %d: grow shuffled %q between old shards %d->%d", next.ID, key, a, b)
+				}
+			} else if a < toK && a != b {
+				t.Fatalf("epoch %d: shrink moved %q off surviving shard %d to %d", next.ID, key, a, b)
+			}
+		}
+	}
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Alternate which shard looks hot so splits land in different spans
+		// each cycle — the worst case for fragment accumulation.
+		load := map[int]int64{cycle % loK: 1 << 20}
+		for s := 0; s < loK; s++ {
+			if _, ok := load[s]; !ok {
+				load[s] = 1
+			}
+		}
+		transition(hiK, load)
+		transition(loK, nil)
+	}
+	if got := len(d.Active().Ranges); got > bound {
+		t.Fatalf("after %d cycles: %d ranges, bound %d", cycles, got, bound)
+	}
+}

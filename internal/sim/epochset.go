@@ -30,6 +30,7 @@ type EpochSet struct {
 	writes map[int]*sync.WaitGroup
 	reads  map[int]*sync.WaitGroup
 	grow   func(k int)
+	shrink func(k int)
 }
 
 // EpochView is one coherent routing snapshot: the epoch pair and how many
@@ -59,6 +60,17 @@ func NewEpochSet(k int, grow func(k int)) *EpochSet {
 
 // Directory returns the placement directory.
 func (s *EpochSet) Directory() *Directory { return s.dir }
+
+// OnShrink registers a callback run under the set lock whenever ShrinkTo
+// retires slots, with the new live count. Concrete sets use it to release
+// the retired shard slots themselves (drained queues, emptied domains) so
+// repeated grow/shrink cycles don't accumulate dead slots; a later grow
+// materializes fresh ones through the grow callback.
+func (s *EpochSet) OnShrink(f func(k int)) {
+	s.mu.Lock()
+	s.shrink = f
+	s.mu.Unlock()
+}
 
 // Live reports the number of live shard slots.
 func (s *EpochSet) Live() int {
@@ -178,4 +190,7 @@ func (s *EpochSet) ShrinkTo(k int) {
 	}
 	s.live = k
 	s.gen++
+	if s.shrink != nil {
+		s.shrink(k)
+	}
 }

@@ -358,6 +358,57 @@ func (e *Env) gateFor(g gateID, lane int) *gate {
 	return gt
 }
 
+// gateName names a gate class for reporting.
+func gateName(g gateID) string {
+	switch g {
+	case gateS3Read:
+		return "s3-read"
+	case gateS3Write:
+		return "s3-write"
+	case gateSDBRead:
+		return "sdb-read"
+	case gateSDBWrite:
+		return "sdb-write"
+	case gateSQS:
+		return "sqs"
+	}
+	return "none"
+}
+
+// GateDepths reports the current queue depth of every rate gate with
+// backlog: how many admission intervals of reservations stretch beyond now
+// ((next-now)/interval). Keys are "<class>" for the default lane and
+// "<class>-<lane>" for sharded endpoint lanes; idle gates are absent. This
+// is the queueing signal the autoscale controller samples — a depth that
+// keeps climbing means a lane is saturated and commits are waiting in
+// virtual time at that gate.
+func (e *Env) GateDepths() map[string]float64 {
+	now := e.clock.Now()
+	depths := make(map[string]float64)
+	report := func(name string, g *gate) {
+		g.mu.Lock()
+		interval, next := g.interval, g.next
+		g.mu.Unlock()
+		if interval <= 0 || next <= now {
+			return
+		}
+		depths[name] = float64(next-now) / float64(interval)
+	}
+	for i := gateID(1); i < numGates; i++ {
+		report(gateName(i), &e.gates[i])
+	}
+	e.laneMu.Lock()
+	lanes := make(map[laneKey]*gate, len(e.laneGates))
+	for k, g := range e.laneGates {
+		lanes[k] = g
+	}
+	e.laneMu.Unlock()
+	for k, g := range lanes {
+		report(fmt.Sprintf("%s-%d", gateName(k.g), k.lane), g)
+	}
+	return depths
+}
+
 // reserveNet spaces bulk transfers so aggregate host throughput stays under
 // the host NIC cap, then waits until this transfer's admission time.
 func (e *Env) reserveNet(nbytes int) {
